@@ -1,0 +1,214 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus micro-benchmarks
+// of the performance-critical substrates.
+//
+// The table/figure benchmarks run the corresponding experiment pipeline at
+// SmallScale; cmd/experiments runs the same runners at the paper's scale.
+// Benchmark output reports the comparative statistics (search-cost speedup,
+// hypervolume differences, savings) as custom metrics.
+package unico
+
+import (
+	"math/rand"
+	"testing"
+
+	"unico/internal/experiments"
+	"unico/internal/gp"
+	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/mapping"
+	"unico/internal/mapsearch"
+	"unico/internal/pareto"
+	"unico/internal/workload"
+
+	"unico/internal/camodel"
+)
+
+// BenchmarkTable1_Edge regenerates Table 1: HASCO vs NSGA-II vs UNICO on the
+// seven networks under the edge power constraint (< 2 W).
+func BenchmarkTable1_Edge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunEdgeCloudTable(nil, hw.Edge, experiments.SmallScale())
+		reportSpeedup(b, res)
+	}
+}
+
+// BenchmarkTable2_Cloud regenerates Table 2: the same comparison under the
+// cloud power constraint (< 20 W).
+func BenchmarkTable2_Cloud(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunEdgeCloudTable(nil, hw.Cloud, experiments.SmallScale())
+		reportSpeedup(b, res)
+	}
+}
+
+func reportSpeedup(b *testing.B, res experiments.TableResult) {
+	sum, n := 0.0, 0
+	for _, s := range res.SpeedupSummary() {
+		sum += s
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "UNICO-speedup-x")
+	}
+}
+
+// BenchmarkFigure7_HypervolumeCurves regenerates Fig. 7: hypervolume
+// difference versus simulated search cost for HASCO, NSGA-II, MOBOHB and
+// UNICO (edge panel; the cloud panel is the same pipeline under hw.Cloud).
+func BenchmarkFigure7_HypervolumeCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunHypervolumeCurves(nil, hw.Edge, experiments.SmallScale())
+		for _, c := range res.Curves {
+			b.ReportMetric(c.Final(), "final-HVdiff-"+c.Method)
+		}
+	}
+}
+
+// BenchmarkFigure8_RobustnessIndicator regenerates Fig. 8: PPA-comparable
+// Pareto pairs with different sensitivity R, validated on unseen networks.
+func BenchmarkFigure8_RobustnessIndicator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunRobustnessIndicator(nil, experiments.SmallScale())
+		wins := 0
+		for _, p := range res.Pairs {
+			if p.RobustWinsAvg {
+				wins++
+			}
+		}
+		if len(res.Pairs) > 0 {
+			b.ReportMetric(float64(wins)/float64(len(res.Pairs)), "robust-wins-frac")
+		}
+	}
+}
+
+// BenchmarkFigure9_Generalization regenerates Fig. 9: UNICO-vs-HASCO
+// min-Euclid gain on eight unseen DNNs after multi-workload co-optimization.
+func BenchmarkFigure9_Generalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunGeneralization(nil, experiments.SmallScale())
+		b.ReportMetric(res.AvgImprovementPct, "UNICO-gain-%")
+	}
+}
+
+// BenchmarkFigure10_Ablation regenerates Fig. 10: HASCO vs SH+Champion vs
+// MSH+Champion vs full UNICO hypervolume convergence.
+func BenchmarkFigure10_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblation(nil, experiments.SmallScale())
+		for _, c := range res.Curves {
+			b.ReportMetric(c.Final(), "final-HVdiff-"+c.Method)
+		}
+	}
+}
+
+// BenchmarkFigure11_Ascend regenerates Fig. 11: UNICO-found Ascend-like
+// cores versus the expert default, evaluated by the cycle-level CAModel.
+func BenchmarkFigure11_Ascend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAscend(nil, experiments.SmallScale())
+		b.ReportMetric(res.AvgPowerSavePct, "avg-power-save-%")
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkMaestroEvaluate measures one analytical PPA evaluation, the
+// innermost operation of the whole co-search.
+func BenchmarkMaestroEvaluate(b *testing.B) {
+	eng := maestro.Engine{}
+	cfg := hw.Spatial{PEX: 12, PEY: 12, L1Bytes: 1728, L2KB: 432, NoCBW: 128,
+		Dataflow: hw.WeightStationary}
+	l := workload.ResNet().Layers[5]
+	m := mapping.Spatial{TK: 8, TC: 8, TY: 4, TX: 4, TR: 3, TS: 3,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(cfg, m, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCAModelEvaluate measures one cycle-level simulation.
+func BenchmarkCAModelEvaluate(b *testing.B) {
+	eng := camodel.Engine{}
+	cfg := hw.DefaultAscend()
+	w, _ := workload.ByName("FSRCNN-120x320")
+	l := w.Layers[0]
+	m := mapping.Ascend{TM: 56, TK: 25, TN: 4096, FuseDepth: 2, DBufA: true, DBufB: true}.Canon(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(cfg, m, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMappingSearchUnit measures one network-level budget unit of the
+// FlexTensor-like search on MobileNet.
+func BenchmarkMappingSearchUnit(b *testing.B) {
+	eng := maestro.Engine{}
+	cfg := hw.Spatial{PEX: 8, PEY: 8, L1Bytes: 1728, L2KB: 432, NoCBW: 128,
+		Dataflow: hw.OutputStationary}
+	ns := mapsearch.NewSpatialSearcher(eng, cfg, workload.MobileNet(), mapsearch.FlexTensorLike, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns.Advance(1)
+	}
+}
+
+// BenchmarkGPFitPredict measures surrogate refitting plus a prediction at
+// the training sizes MOBO reaches.
+func BenchmarkGPFitPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 120, 6
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := gp.FitAuto(xs, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Predict(xs[0])
+	}
+}
+
+// BenchmarkHypervolume3D measures the exact WFG hypervolume on a
+// co-search-sized 3D front.
+func BenchmarkHypervolume3D(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var pts [][]float64
+	for len(pts) < 24 {
+		pts = append(pts, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	front := pareto.FrontPoints(pts)
+	ref := []float64{1.1, 1.1, 1.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pareto.Hypervolume(front, ref)
+	}
+}
+
+// BenchmarkNonDominatedSort measures NSGA-II's sorting on a generation-sized
+// population.
+func BenchmarkNonDominatedSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 60)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pareto.NonDominatedSort(pts)
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all            # every experiment
+//	experiments -run table1         # Table 1 (edge device)
+//	experiments -run table2         # Table 2 (cloud device)
+//	experiments -run fig7           # hypervolume-vs-cost curves
+//	experiments -run fig8           # robustness-indicator study
+//	experiments -run fig9           # generalization to unseen DNNs
+//	experiments -run fig10          # ablation
+//	experiments -run fig11          # Ascend-like case study
+//	experiments -scale paper|small  # experiment sizes (default small)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unico/internal/experiments"
+	"unico/internal/hw"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id: all,table1,table2,fig7,fig8,fig9,fig10,fig11")
+	scale := flag.String("scale", "small", "paper | small")
+	seed := flag.Int64("seed", 0, "override the scale's seed (0 keeps default)")
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scale {
+	case "paper":
+		s = experiments.PaperScale()
+	case "small":
+		s = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	if all || want["table1"] {
+		experiments.RunEdgeCloudTable(os.Stdout, hw.Edge, s)
+		ran = true
+	}
+	if all || want["table2"] {
+		experiments.RunEdgeCloudTable(os.Stdout, hw.Cloud, s)
+		ran = true
+	}
+	if all || want["fig7"] {
+		experiments.RunHypervolumeCurves(os.Stdout, hw.Edge, s)
+		experiments.RunHypervolumeCurves(os.Stdout, hw.Cloud, s)
+		ran = true
+	}
+	if all || want["fig8"] {
+		experiments.RunRobustnessIndicator(os.Stdout, s)
+		ran = true
+	}
+	if all || want["fig9"] {
+		experiments.RunGeneralization(os.Stdout, s)
+		ran = true
+	}
+	if all || want["fig10"] {
+		experiments.RunAblation(os.Stdout, s)
+		ran = true
+	}
+	if all || want["fig11"] {
+		experiments.RunAscend(os.Stdout, s)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched -run=%q\n", *run)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// Command ppaserver runs a worker node of the distributed deployment
+// (paper Fig. 6): a standalone REST service exposing PPA estimation and
+// hosting resumable software-mapping search jobs.
+//
+// Usage:
+//
+//	ppaserver -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/ppa           evaluate one (hardware, mapping, layer) triple
+//	POST /v1/jobs          create a mapping-search job
+//	POST /v1/jobs/advance  spend budget on a job
+//	GET  /v1/healthz       liveness probe
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"unico/internal/dist"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := dist.NewServer()
+	log.Printf("ppaserver: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("ppaserver: %v", err)
+	}
+}

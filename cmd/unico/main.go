@@ -1,0 +1,118 @@
+// Command unico runs hardware-software co-optimization from the command
+// line.
+//
+// Usage:
+//
+//	unico -networks MobileNet,ResNet -scenario edge -method unico \
+//	      -batch 30 -iters 10 -bmax 300 -seed 1
+//
+// The tool prints the feasible Pareto front and the min-Euclidean-distance
+// representative design, along with the simulated search cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unico"
+)
+
+func main() {
+	var (
+		networks = flag.String("networks", "MobileNet", "comma-separated zoo network names")
+		scenario = flag.String("scenario", "edge", "edge | cloud | ascend")
+		method   = flag.String("method", "unico", "unico | hasco | mobohb | nsgaii")
+		batch    = flag.Int("batch", 30, "hardware batch size N")
+		iters    = flag.Int("iters", 10, "outer iterations")
+		bmax     = flag.Int("bmax", 300, "software-mapping budget b_max")
+		workers  = flag.Int("workers", 8, "parallel mapping-search workers")
+		seed     = flag.Int64("seed", 1, "random seed")
+		noR      = flag.Bool("no-robustness", false, "drop the sensitivity objective R")
+		list     = flag.Bool("list", false, "list available networks and exit")
+		jsonNets = flag.String("workload-json", "", "comma-separated JSON workload files (overrides -networks)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range unico.Networks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	nets := strings.Split(*networks, ",")
+	var p *unico.Platform
+	var err error
+	if *jsonNets != "" {
+		files := strings.Split(*jsonNets, ",")
+		switch *scenario {
+		case "edge":
+			p, err = unico.OpenSourcePlatformFromJSON(unico.Edge, files...)
+		case "cloud":
+			p, err = unico.OpenSourcePlatformFromJSON(unico.Cloud, files...)
+		case "ascend":
+			p, err = unico.AscendLikePlatformFromJSON(files...)
+		default:
+			err = fmt.Errorf("unknown scenario %q", *scenario)
+		}
+	} else {
+		switch *scenario {
+		case "edge":
+			p, err = unico.OpenSourcePlatform(unico.Edge, nets...)
+		case "cloud":
+			p, err = unico.OpenSourcePlatform(unico.Cloud, nets...)
+		case "ascend":
+			p, err = unico.AscendLikePlatform(nets...)
+		default:
+			err = fmt.Errorf("unknown scenario %q", *scenario)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unico:", err)
+		os.Exit(1)
+	}
+
+	var m unico.Method
+	switch *method {
+	case "unico":
+		m = unico.MethodUNICO
+	case "hasco":
+		m = unico.MethodHASCO
+	case "mobohb":
+		m = unico.MethodMOBOHB
+	case "nsgaii":
+		m = unico.MethodNSGAII
+	default:
+		fmt.Fprintf(os.Stderr, "unico: unknown method %q\n", *method)
+		os.Exit(1)
+	}
+
+	res, err := unico.Optimize(p, unico.Config{
+		Method:            m,
+		BatchSize:         *batch,
+		Iterations:        *iters,
+		BudgetMax:         *bmax,
+		Workers:           *workers,
+		Seed:              *seed,
+		DisableRobustness: *noR,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unico:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("method=%s networks=%s scenario=%s\n", m, *networks, *scenario)
+	fmt.Printf("simulated search cost: %.2f h (%d budget units)\n", res.SimulatedHours, res.Evaluations)
+	fmt.Printf("Pareto front (%d designs):\n", len(res.Front))
+	for _, d := range res.Front {
+		fmt.Printf("  %-52s L=%.6g ms  P=%.5g mW  A=%.3g mm²  R=%.3f\n",
+			d.HW, d.LatencyMs, d.PowerMW, d.AreaMM2, d.Sensitivity)
+	}
+	if res.Best.HW != "" {
+		fmt.Printf("representative (min-Euclid): %s\n", res.Best.HW)
+	} else {
+		fmt.Println("no feasible design found — increase -iters or relax constraints")
+	}
+}

@@ -1,0 +1,3 @@
+module unico
+
+go 1.22

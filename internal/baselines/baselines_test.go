@@ -1,0 +1,190 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unico/internal/core"
+	"unico/internal/hw"
+	"unico/internal/mapsearch"
+	"unico/internal/mobo"
+	"unico/internal/pareto"
+	"unico/internal/platform"
+	"unico/internal/workload"
+)
+
+func testPlatform() core.Platform {
+	return platform.NewSpatial(hw.Edge,
+		[]workload.Workload{workload.MobileNetV3Small()}, mapsearch.FlexTensorLike)
+}
+
+func TestHASCOOptionsRegime(t *testing.T) {
+	opt := HASCOOptions(10, 5, 100, 1)
+	if !opt.DisableSH {
+		t.Error("HASCO must not early-stop")
+	}
+	if opt.UpdateRule != mobo.Champion {
+		t.Error("HASCO must use champion updates")
+	}
+	if opt.Workers != 1 {
+		t.Error("HASCO must be sequential")
+	}
+	if opt.UseRobustness {
+		t.Error("HASCO has no robustness objective")
+	}
+}
+
+func TestAblationPresets(t *testing.T) {
+	sh := SHChampionOptions(10, 5, 100, 1)
+	if sh.DisableSH || sh.MSHPromoteFrac != 0 || sh.UpdateRule != mobo.Champion {
+		t.Errorf("SH+Champion preset wrong: %+v", sh)
+	}
+	msh := MSHChampionOptions(10, 5, 100, 1)
+	if msh.MSHPromoteFrac != 0.15 || msh.UpdateRule != mobo.Champion {
+		t.Errorf("MSH+Champion preset wrong: %+v", msh)
+	}
+	bohb := MOBOHBOptions(10, 5, 100, 1)
+	if bohb.MSHPromoteFrac != 0 || bohb.UpdateRule != mobo.AllSamples || bohb.DisableSH {
+		t.Errorf("MOBOHB preset wrong: %+v", bohb)
+	}
+}
+
+func TestHASCORunSmoke(t *testing.T) {
+	res := HASCO(testPlatform(), 4, 2, 15, 3, nil, 0)
+	if len(res.All) != 8 {
+		t.Errorf("HASCO evaluated %d candidates, want 8", len(res.All))
+	}
+	if res.Evals != 8*15 {
+		t.Errorf("HASCO spent %d evals, want full budget %d", res.Evals, 8*15)
+	}
+	if res.Hours <= 0 {
+		t.Error("no cost accrued")
+	}
+}
+
+func TestNSGAIIRunSmoke(t *testing.T) {
+	res := NSGAII(testPlatform(), NSGAIIOptions{Pop: 8, Generations: 3, BMax: 15, Seed: 5})
+	// Initial pop + 3 offspring generations.
+	if want := 8 * 4; len(res.All) != want {
+		t.Errorf("NSGA-II evaluated %d candidates, want %d", len(res.All), want)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	pts := make([][]float64, len(res.Front))
+	for i, c := range res.Front {
+		pts[i] = c.Objectives(false)
+	}
+	for i := range pts {
+		for j := range pts {
+			if i != j && pareto.Dominates(pts[i], pts[j]) {
+				t.Errorf("front point %d dominates %d", i, j)
+			}
+		}
+	}
+	if len(res.Trace) != 4 {
+		t.Errorf("trace length %d, want 4", len(res.Trace))
+	}
+}
+
+func TestNSGAIIDeterministic(t *testing.T) {
+	o := NSGAIIOptions{Pop: 6, Generations: 2, BMax: 10, Seed: 9}
+	a := NSGAII(testPlatform(), o)
+	b := NSGAII(testPlatform(), o)
+	if len(a.All) != len(b.All) {
+		t.Fatal("structure diverged")
+	}
+	for i := range a.All {
+		if a.All[i].Metrics != b.All[i].Metrics {
+			t.Fatalf("candidate %d diverged", i)
+		}
+	}
+}
+
+func TestNSGAIITimeBudget(t *testing.T) {
+	res := NSGAII(testPlatform(), NSGAIIOptions{
+		Pop: 6, Generations: 50, BMax: 10, Seed: 2, TimeBudgetHours: 0.0001,
+	})
+	if len(res.Trace) >= 51 {
+		t.Error("time budget ignored")
+	}
+}
+
+func TestSBXAndMutationStayInUnitCube(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		c1, c2 := sbx(a, b, 15, rng)
+		m := polyMutate(c1, 0.5, 20, rng)
+		for _, v := range append(append(append([]float64{}, c1...), c2...), m...) {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrowdedComparison(t *testing.T) {
+	a := individual{rank: 0, cd: 1}
+	b := individual{rank: 1, cd: 100}
+	if !crowdedLess(a, b) {
+		t.Error("lower rank must win regardless of crowding")
+	}
+	c := individual{rank: 0, cd: 5}
+	if !crowdedLess(c, a) {
+		t.Error("equal rank: larger crowding distance must win")
+	}
+}
+
+func TestSelectNextSizeAndElitism(t *testing.T) {
+	// Build a union where the first front is smaller than the target size.
+	var union []individual
+	objs := [][]float64{
+		{1, 4}, {2, 3}, {4, 1}, // F1
+		{2, 5}, {3, 4}, {5, 2}, // F2
+		{6, 6}, {7, 7}, // F3
+	}
+	for _, o := range objs {
+		union = append(union, individual{obj: o})
+	}
+	next := selectNext(union, 5)
+	if len(next) != 5 {
+		t.Fatalf("selected %d, want 5", len(next))
+	}
+	// All of F1 must survive (elitism).
+	f1 := map[string]bool{"1,4": true, "2,3": true, "4,1": true}
+	found := 0
+	for _, ind := range next {
+		k := keyOf(ind.obj)
+		if f1[k] {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("only %d/3 first-front members survived", found)
+	}
+}
+
+func keyOf(o []float64) string {
+	return string(rune(int(o[0])+48)) + "," + string(rune(int(o[1])+48))
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	o := NSGAIIOptions{}.normalize(6)
+	if o.Pop != 20 || o.Generations != 10 || o.BMax != 300 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o.MutationRate != 1.0/6 {
+		t.Errorf("mutation rate %v", o.MutationRate)
+	}
+	odd := NSGAIIOptions{Pop: 7}.normalize(6)
+	if odd.Pop%2 != 0 {
+		t.Error("odd population not rounded up")
+	}
+}

@@ -1,0 +1,343 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"unico/internal/core"
+	"unico/internal/pareto"
+	"unico/internal/ppa"
+	"unico/internal/robust"
+	"unico/internal/simclock"
+)
+
+// NSGAIIOptions parameterizes the NSGA-II baseline.
+type NSGAIIOptions struct {
+	// Pop is the population size.
+	Pop int
+	// Generations bounds the evolutionary loop.
+	Generations int
+	// BMax is the full software-mapping budget spent on every individual.
+	BMax int
+	// Workers bounds parallel individual evaluations.
+	Workers int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Clock accrues simulated wall-clock cost (fresh clock if nil).
+	Clock *simclock.Clock
+	// TimeBudgetHours stops the run once the clock passes it (0 = no cap).
+	TimeBudgetHours float64
+	// EtaC and EtaM are the SBX and polynomial-mutation distribution
+	// indices (defaults 15 and 20).
+	EtaC, EtaM float64
+	// MutationRate is the per-gene mutation probability (default 1/dim).
+	MutationRate float64
+}
+
+func (o NSGAIIOptions) normalize(dim int) NSGAIIOptions {
+	if o.Pop < 4 {
+		o.Pop = 20
+	}
+	if o.Pop%2 != 0 {
+		o.Pop++
+	}
+	if o.Generations <= 0 {
+		o.Generations = 10
+	}
+	if o.BMax <= 0 {
+		o.BMax = 300
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.EtaC <= 0 {
+		o.EtaC = 15
+	}
+	if o.EtaM <= 0 {
+		o.EtaM = 20
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 1 / float64(dim)
+	}
+	if o.Clock == nil {
+		o.Clock = &simclock.Clock{}
+	}
+	return o
+}
+
+// individual is one population member with its evaluation.
+type individual struct {
+	x    []float64
+	cand core.Candidate
+	obj  []float64
+	rank int
+	cd   float64
+}
+
+// NSGAII runs the NSGA-II baseline co-search on the platform: every
+// individual's fitness is the PPA of its best software mapping found with
+// the full b_max budget.
+func NSGAII(p core.Platform, o NSGAIIOptions) core.Result {
+	space := p.Space()
+	o = o.normalize(space.Dim())
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	var res core.Result
+	evaluate := func(xs [][]float64, gen int) []individual {
+		inds := make([]individual, len(xs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, o.Workers)
+		for i, x := range xs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, x []float64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				job := p.NewJob(x, o.Seed+int64(gen)*1_000_000+int64(i))
+				job.Advance(o.BMax)
+				cand := core.Candidate{X: x, History: job.History(), Iter: gen}
+				if met, ok := job.Best(); ok {
+					cand.Metrics = met
+					cand.Sensitivity = robust.Sensitivity(job.RawHistory(), robust.DefaultAlpha)
+					cand.Feasible = met.PowerMW <= capOr(p.PowerCapMW()) && met.AreaMM2 <= capOr(p.AreaCapMM2())
+				} else {
+					cand.Metrics = penaltyMetrics()
+					cand.Sensitivity = robust.RInfeasible
+				}
+				inds[i] = individual{x: x, cand: cand, obj: cand.Objectives(false)}
+			}(i, x)
+		}
+		wg.Wait()
+		o.Clock.AdvanceParallel(len(xs), float64(o.BMax)*p.EvalCostSeconds(), o.Workers)
+		res.Evals += len(xs) * o.BMax
+		res.All = append(res.All, candsOf(inds)...)
+		return inds
+	}
+
+	// Initial population.
+	xs := make([][]float64, o.Pop)
+	for i := range xs {
+		xs[i] = space.Sample(rng)
+	}
+	pop := evaluate(xs, 0)
+	assignRanks(pop)
+	res.Front = frontOf(res.All)
+	res.Trace = append(res.Trace, tracePoint(0, o.Clock, res.Front))
+
+	for gen := 1; gen <= o.Generations; gen++ {
+		if o.TimeBudgetHours > 0 && o.Clock.Hours() >= o.TimeBudgetHours {
+			break
+		}
+		// Variation: binary tournaments, SBX, polynomial mutation.
+		children := make([][]float64, 0, o.Pop)
+		for len(children) < o.Pop {
+			p1 := tournament(pop, rng)
+			p2 := tournament(pop, rng)
+			c1, c2 := sbx(pop[p1].x, pop[p2].x, o.EtaC, rng)
+			c1 = polyMutate(c1, o.MutationRate, o.EtaM, rng)
+			c2 = polyMutate(c2, o.MutationRate, o.EtaM, rng)
+			children = append(children, space.Clip(c1), space.Clip(c2))
+		}
+		children = children[:o.Pop]
+		offspring := evaluate(children, gen)
+
+		// Environmental selection over parents ∪ offspring.
+		union := append(append([]individual(nil), pop...), offspring...)
+		pop = selectNext(union, o.Pop)
+		assignRanks(pop)
+
+		res.Front = frontOf(res.All)
+		res.Trace = append(res.Trace, tracePoint(gen, o.Clock, res.Front))
+	}
+	res.Hours = o.Clock.Hours()
+	return res
+}
+
+// capOr turns a zero cap into +Inf for comparisons.
+func capOr(cap float64) float64 {
+	if cap <= 0 {
+		return math.Inf(1)
+	}
+	return cap
+}
+
+func penaltyMetrics() ppa.Metrics {
+	return ppa.Metrics{LatencyMs: 1e9, PowerMW: 1e7, AreaMM2: 1e5, EnergyUJ: 1e16}
+}
+
+func candsOf(inds []individual) []core.Candidate {
+	out := make([]core.Candidate, len(inds))
+	for i, ind := range inds {
+		out[i] = ind.cand
+	}
+	return out
+}
+
+// frontOf extracts the feasible Pareto front of all evaluated candidates.
+func frontOf(all []core.Candidate) []core.Candidate {
+	var feas []core.Candidate
+	var pts [][]float64
+	for _, c := range all {
+		if c.Feasible {
+			feas = append(feas, c)
+			pts = append(pts, c.Objectives(false))
+		}
+	}
+	if len(feas) == 0 {
+		return nil
+	}
+	idx := pareto.Front(pts)
+	front := make([]core.Candidate, len(idx))
+	for i, j := range idx {
+		front[i] = feas[j]
+	}
+	return front
+}
+
+func tracePoint(gen int, clock *simclock.Clock, front []core.Candidate) core.TracePoint {
+	pts := make([][]float64, len(front))
+	for i, c := range front {
+		pts[i] = c.Objectives(false)
+	}
+	return core.TracePoint{Iter: gen, Hours: clock.Hours(), FrontPPA: pts}
+}
+
+// assignRanks computes non-domination ranks and crowding distances.
+func assignRanks(pop []individual) {
+	pts := make([][]float64, len(pop))
+	for i := range pop {
+		pts[i] = pop[i].obj
+	}
+	fronts := pareto.NonDominatedSort(pts)
+	for rank, front := range fronts {
+		fp := make([][]float64, len(front))
+		for i, idx := range front {
+			fp[i] = pts[idx]
+		}
+		cds := pareto.CrowdingDistance(fp)
+		for i, idx := range front {
+			pop[idx].rank = rank
+			pop[idx].cd = cds[i]
+		}
+	}
+}
+
+// tournament returns the index of the crowded-comparison winner of two
+// random members.
+func tournament(pop []individual, rng *rand.Rand) int {
+	i := rng.Intn(len(pop))
+	j := rng.Intn(len(pop))
+	if crowdedLess(pop[j], pop[i]) {
+		return j
+	}
+	return i
+}
+
+// crowdedLess is NSGA-II's crowded-comparison operator (≺): lower rank, or
+// equal rank and larger crowding distance.
+func crowdedLess(a, b individual) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.cd > b.cd
+}
+
+// selectNext fills the next population front-by-front, breaking the last
+// front by crowding distance.
+func selectNext(union []individual, n int) []individual {
+	pts := make([][]float64, len(union))
+	for i := range union {
+		pts[i] = union[i].obj
+	}
+	fronts := pareto.NonDominatedSort(pts)
+	next := make([]individual, 0, n)
+	for rank, front := range fronts {
+		fp := make([][]float64, len(front))
+		for i, idx := range front {
+			fp[i] = pts[idx]
+		}
+		cds := pareto.CrowdingDistance(fp)
+		for i, idx := range front {
+			union[idx].rank = rank
+			union[idx].cd = cds[i]
+		}
+		if len(next)+len(front) <= n {
+			for _, idx := range front {
+				next = append(next, union[idx])
+			}
+			continue
+		}
+		// Partial front: take the most crowded-distant members.
+		rest := append([]int(nil), front...)
+		sortByCD(rest, union)
+		for _, idx := range rest {
+			if len(next) == n {
+				break
+			}
+			next = append(next, union[idx])
+		}
+		break
+	}
+	return next
+}
+
+// sortByCD sorts indices by descending crowding distance (insertion sort;
+// fronts are small).
+func sortByCD(idx []int, union []individual) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && union[idx[j]].cd > union[idx[j-1]].cd; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// sbx is simulated binary crossover on unit-cube vectors.
+func sbx(a, b []float64, etaC float64, rng *rand.Rand) ([]float64, []float64) {
+	c1 := append([]float64(nil), a...)
+	c2 := append([]float64(nil), b...)
+	for i := range a {
+		if rng.Float64() > 0.9 {
+			continue
+		}
+		u := rng.Float64()
+		var beta float64
+		if u <= 0.5 {
+			beta = math.Pow(2*u, 1/(etaC+1))
+		} else {
+			beta = math.Pow(1/(2*(1-u)), 1/(etaC+1))
+		}
+		c1[i] = clamp01(0.5 * ((1+beta)*a[i] + (1-beta)*b[i]))
+		c2[i] = clamp01(0.5 * ((1-beta)*a[i] + (1+beta)*b[i]))
+	}
+	return c1, c2
+}
+
+// polyMutate is polynomial mutation on unit-cube vectors.
+func polyMutate(x []float64, rate, etaM float64, rng *rand.Rand) []float64 {
+	out := append([]float64(nil), x...)
+	for i := range out {
+		if rng.Float64() > rate {
+			continue
+		}
+		u := rng.Float64()
+		var delta float64
+		if u < 0.5 {
+			delta = math.Pow(2*u, 1/(etaM+1)) - 1
+		} else {
+			delta = 1 - math.Pow(2*(1-u), 1/(etaM+1))
+		}
+		out[i] = clamp01(out[i] + delta)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,366 @@
+// Package core implements UNICO itself: the bi-level co-optimization of
+// paper Algorithm 1. The outer level samples batches of hardware
+// configurations with multi-objective Bayesian optimization
+// (internal/mobo); the inner level runs the software-mapping search of each
+// candidate under modified successive halving (internal/sh); the robustness
+// metric R (internal/robust) joins (latency, power, area) as the fourth
+// objective; and the High Fidelity Update Rule selects which samples refine
+// the surrogate.
+//
+// Every algorithmic switch of the paper's Fig. 10 ablation is an Options
+// field, so HASCO-like, SH+ChampionUpdate, MSH+ChampionUpdate and full
+// UNICO are all configurations of the same Run function (the baselines
+// package provides the presets).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"unico/internal/mapsearch"
+	"unico/internal/mobo"
+	"unico/internal/pareto"
+	"unico/internal/ppa"
+	"unico/internal/robust"
+	"unico/internal/sh"
+	"unico/internal/simclock"
+)
+
+// Platform abstracts an accelerator platform for the co-optimizer: its
+// hardware design space, a factory for resumable software-mapping searches,
+// and the PPA-engine cost contract. Implementations live in
+// internal/platform.
+type Platform interface {
+	// Space is the hardware design space.
+	Space() mobo.Space
+	// NewJob builds a fresh software-mapping search for the hardware at x
+	// over the platform's workload set.
+	NewJob(x []float64, seed int64) mapsearch.Searcher
+	// EvalCostSeconds is the simulated cost of one PPA evaluation.
+	EvalCostSeconds() float64
+	// Describe renders the hardware at x.
+	Describe(x []float64) string
+	// PowerCapMW is the deployment power constraint (0 = none).
+	PowerCapMW() float64
+	// AreaCapMM2 is the chip area constraint (0 = none).
+	AreaCapMM2() float64
+}
+
+// Options parameterizes a co-optimization run. The zero value is completed
+// with the paper's defaults by normalize.
+type Options struct {
+	// BatchSize is the hardware batch N per MOBO iteration (paper: 30 on
+	// the open-source platform, 8 on Ascend-like).
+	BatchSize int
+	// MaxIter is the number of MOBO iterations.
+	MaxIter int
+	// BMax is the maximum software-mapping budget b_max per candidate
+	// (paper: 300 open-source, 200 Ascend-like).
+	BMax int
+	// DisableSH runs every candidate to full budget (no early stopping) —
+	// the HASCO-like regime of Fig. 10.
+	DisableSH bool
+	// MSHPromoteFrac is the AUC-promotion fraction p/N of modified
+	// successive halving; 0 selects default SH. Paper: 0.15.
+	MSHPromoteFrac float64
+	// UseRobustness adds the sensitivity metric R as the fourth objective.
+	UseRobustness bool
+	// UpdateRule selects the surrogate update rule.
+	UpdateRule mobo.UpdateRule
+	// Workers bounds parallel mapping-search jobs (paper Fig. 6).
+	Workers int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Clock accrues simulated wall-clock time; a fresh clock is created if
+	// nil.
+	Clock *simclock.Clock
+	// TimeBudgetHours stops the run once the simulated clock passes this
+	// many hours (0 = no time cap; MaxIter still applies).
+	TimeBudgetHours float64
+	// Alpha is the robustness sub-optimal percentile (default 0.05).
+	Alpha float64
+}
+
+func (o Options) normalize() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 30
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10
+	}
+	if o.BMax <= 0 {
+		o.BMax = 300
+	}
+	if o.MSHPromoteFrac < 0 {
+		o.MSHPromoteFrac = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = robust.DefaultAlpha
+	}
+	if o.Clock == nil {
+		o.Clock = &simclock.Clock{}
+	}
+	return o
+}
+
+// UNICOOptions returns the paper's full UNICO configuration.
+func UNICOOptions(batch, maxIter, bmax int, seed int64) Options {
+	return Options{
+		BatchSize:      batch,
+		MaxIter:        maxIter,
+		BMax:           bmax,
+		MSHPromoteFrac: 0.15,
+		UseRobustness:  true,
+		UpdateRule:     mobo.HighFidelity,
+		Workers:        8,
+		Seed:           seed,
+	}
+}
+
+// Candidate is one evaluated hardware configuration.
+type Candidate struct {
+	X           []float64
+	Metrics     ppa.Metrics
+	Sensitivity float64
+	History     ppa.History
+	// Feasible means a feasible mapping exists AND the power/area caps
+	// hold; only feasible candidates enter the Pareto front.
+	Feasible bool
+	// Iter is the MOBO iteration that produced the candidate (1-based).
+	Iter int
+}
+
+// Objectives returns the candidate's raw objective vector
+// (latency, power, area[, sensitivity]).
+func (c Candidate) Objectives(withR bool) []float64 {
+	y := []float64{c.Metrics.LatencyMs, c.Metrics.PowerMW, c.Metrics.AreaMM2}
+	if withR {
+		y = append(y, c.Sensitivity)
+	}
+	return y
+}
+
+// TracePoint snapshots convergence after one MOBO iteration, for the
+// hypervolume-vs-cost curves of Figs. 7 and 10.
+type TracePoint struct {
+	Iter  int
+	Hours float64
+	// FrontPPA holds the (latency, power, area) vectors of the feasible
+	// Pareto front at this moment.
+	FrontPPA [][]float64
+}
+
+// Result is the outcome of a co-optimization run.
+type Result struct {
+	// Front is the feasible Pareto front over (latency, power, area).
+	Front []Candidate
+	// All holds every candidate evaluated, in evaluation order.
+	All []Candidate
+	// Trace records the front after every MOBO iteration.
+	Trace []TracePoint
+	// Hours is the total simulated search cost.
+	Hours float64
+	// Evals is the total number of PPA evaluations spent.
+	Evals int
+}
+
+// penaltyMetrics stands in for candidates with no feasible mapping: finite,
+// far beyond any real design, so surrogates and scalarizations stay
+// well-defined.
+var penaltyMetrics = ppa.Metrics{
+	LatencyMs: 1e9,
+	PowerMW:   1e7,
+	AreaMM2:   1e5,
+	EnergyUJ:  1e16,
+}
+
+// Run executes Algorithm 1 on the platform.
+func Run(p Platform, opt Options) Result {
+	opt = opt.normalize()
+	nObj := 3
+	if opt.UseRobustness {
+		nObj = 4
+	}
+	moboCfg := mobo.DefaultConfig(nObj)
+	moboCfg.Rule = opt.UpdateRule
+	explorer := mobo.New(p.Space(), moboCfg, opt.Seed)
+
+	shCfg := sh.Config{
+		Eta:             2,
+		KFrac:           0.5,
+		PFrac:           opt.MSHPromoteFrac,
+		BMax:            opt.BMax,
+		Workers:         opt.Workers,
+		EvalCostSeconds: p.EvalCostSeconds(),
+		Clock:           opt.Clock,
+	}
+	if opt.DisableSH {
+		// Degenerate schedule: everyone runs to full budget in one round.
+		shCfg.KFrac = 0.999
+		shCfg.PFrac = 0
+	}
+
+	var res Result
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if opt.TimeBudgetHours > 0 && opt.Clock.Hours() >= opt.TimeBudgetHours {
+			break
+		}
+		xs := explorer.SuggestBatch(opt.BatchSize)
+		if len(xs) == 0 {
+			break
+		}
+		jobs := make([]mapsearch.Searcher, len(xs))
+		for i, x := range xs {
+			jobs[i] = p.NewJob(x, opt.Seed+int64(iter)*1_000_000+int64(i))
+		}
+
+		var outcome sh.Outcome
+		if opt.DisableSH {
+			outcome = runFullBudget(jobs, shCfg)
+		} else {
+			outcome = sh.Run(jobs, shCfg)
+		}
+		res.Evals += outcome.TotalEvals
+
+		obs := make([]mobo.Observation, len(xs))
+		for i, x := range xs {
+			hist := outcome.Histories[i]
+			met, ok := jobs[i].Best()
+			cand := Candidate{X: x, History: hist, Iter: iter}
+			if ok {
+				cand.Metrics = met
+				cand.Sensitivity = robust.Sensitivity(jobs[i].RawHistory(), opt.Alpha)
+				cand.Feasible = withinCaps(p, met)
+			} else {
+				cand.Metrics = penaltyMetrics
+				cand.Sensitivity = robust.RInfeasible
+			}
+			res.All = append(res.All, cand)
+			obs[i] = mobo.Observation{X: x, Y: NormalizeObjectives(cand.Objectives(opt.UseRobustness))}
+		}
+		explorer.Update(obs)
+		// Surrogate refit overhead on the master (paper Fig. 6b): seconds,
+		// negligible next to PPA evaluation but accounted for.
+		opt.Clock.Advance(5)
+
+		res.Front = paretoFront(res.All)
+		res.Trace = append(res.Trace, TracePoint{
+			Iter:     iter,
+			Hours:    opt.Clock.Hours(),
+			FrontPPA: frontPPA(res.Front),
+		})
+	}
+	res.Hours = opt.Clock.Hours()
+	return res
+}
+
+// runFullBudget advances every job to BMax with the configured parallelism,
+// charging the clock — the no-early-stopping regime.
+func runFullBudget(jobs []mapsearch.Searcher, cfg sh.Config) sh.Outcome {
+	// A single-round schedule: reuse sh.Run with one round by passing a
+	// candidate list it cannot halve. sh.Run computes rounds from N, so we
+	// instead advance directly.
+	total := 0
+	for _, j := range jobs {
+		j.Advance(cfg.BMax)
+		total += cfg.BMax
+	}
+	if cfg.Clock != nil && len(jobs) > 0 {
+		cfg.Clock.AdvanceParallel(len(jobs), float64(cfg.BMax)*cfg.EvalCostSeconds, cfg.Workers)
+	}
+	hist := make([]ppa.History, len(jobs))
+	surv := make([]int, len(jobs))
+	for i, j := range jobs {
+		hist[i] = j.History()
+		surv[i] = i
+	}
+	return sh.Outcome{Histories: hist, Survivors: surv, TotalEvals: total, Rounds: 1}
+}
+
+// withinCaps applies the platform's power and area constraints.
+func withinCaps(p Platform, m ppa.Metrics) bool {
+	if cap := p.PowerCapMW(); cap > 0 && m.PowerMW > cap {
+		return false
+	}
+	if cap := p.AreaCapMM2(); cap > 0 && m.AreaMM2 > cap {
+		return false
+	}
+	return true
+}
+
+// paretoFront extracts the feasible non-dominated candidates over
+// (latency, power, area).
+func paretoFront(all []Candidate) []Candidate {
+	var feas []Candidate
+	var pts [][]float64
+	for _, c := range all {
+		if c.Feasible {
+			feas = append(feas, c)
+			pts = append(pts, c.Objectives(false))
+		}
+	}
+	if len(feas) == 0 {
+		return nil
+	}
+	idx := pareto.Front(pts)
+	front := make([]Candidate, len(idx))
+	for i, j := range idx {
+		front[i] = feas[j]
+	}
+	return front
+}
+
+// frontPPA extracts the PPA vectors of a front.
+func frontPPA(front []Candidate) [][]float64 {
+	out := make([][]float64, len(front))
+	for i, c := range front {
+		out[i] = c.Objectives(false)
+	}
+	return out
+}
+
+// Representative returns the front candidate closest (normalized Euclidean)
+// to the origin — the design Tables 1 and 2 report — or false if the front
+// is empty.
+func Representative(front []Candidate) (Candidate, bool) {
+	if len(front) == 0 {
+		return Candidate{}, false
+	}
+	pts := make([][]float64, len(front))
+	for i, c := range front {
+		pts[i] = c.Objectives(false)
+	}
+	return front[pareto.MinEuclid(pts)], true
+}
+
+// Hypervolume returns the hypervolume of a result's front with respect to
+// ref over (latency, power, area).
+func (r Result) Hypervolume(ref []float64) float64 {
+	return pareto.Hypervolume(frontPPA(r.Front), ref)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("core.Result{front=%d all=%d evals=%d hours=%.2f}",
+		len(r.Front), len(r.All), r.Evals, r.Hours)
+}
+
+// NormalizeObjectives guards against non-finite objective values before they
+// reach the surrogate (paranoia against cost-model edge cases).
+func NormalizeObjectives(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			v = 1e12
+		case v <= 0:
+			// A zero objective (ideal sensitivity R = 0) stays meaningful
+			// but positive for the log-space surrogate.
+			v = 1e-9
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"unico/internal/ppa"
+)
+
+// Client talks to one worker node.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the worker at base (e.g.
+// "http://worker-1:8080"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// Base returns the worker's base URL.
+func (c *Client) Base() string { return c.base }
+
+// post sends req as JSON and decodes the response into resp.
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s: %w", path, err)
+	}
+	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: post %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("dist: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely.
+func (c *Client) EvaluatePPA(req PPARequest) (PPAResponse, error) {
+	var resp PPAResponse
+	if err := c.post("/v1/ppa", req, &resp); err != nil {
+		return PPAResponse{}, err
+	}
+	return resp, nil
+}
+
+// CreateJob creates a mapping-search job on the worker.
+func (c *Client) CreateJob(spec JobSpec) (string, error) {
+	var resp JobCreateResponse
+	if err := c.post("/v1/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	if resp.Error != "" {
+		return "", fmt.Errorf("dist: create job: %s", resp.Error)
+	}
+	return resp.ID, nil
+}
+
+// AdvanceJob spends budget on a job and returns its state (budget 0 just
+// polls).
+func (c *Client) AdvanceJob(id string, budget int) (JobState, error) {
+	var state JobState
+	if err := c.post("/v1/jobs/advance", AdvanceRequest{ID: id, Budget: budget}, &state); err != nil {
+		return JobState{}, err
+	}
+	if state.Error != "" {
+		return JobState{}, fmt.Errorf("dist: advance job %s: %s", id, state.Error)
+	}
+	return state, nil
+}
+
+// Healthy reports whether the worker answers its health endpoint.
+func (c *Client) Healthy() bool {
+	resp, err := c.hc.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// remoteJob adapts a worker-side job to the mapsearch.Searcher interface, so
+// the master's successive-halving scheduler drives remote jobs exactly like
+// local ones.
+type remoteJob struct {
+	client *Client
+	id     string
+	state  JobState
+	err    error
+}
+
+// NewRemoteJob creates a job on the worker and returns its master-side
+// handle.
+func NewRemoteJob(client *Client, spec JobSpec) (*remoteJob, error) {
+	id, err := client.CreateJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteJob{client: client, id: id}, nil
+}
+
+// Advance spends budget on the remote job. Transport errors latch: the job
+// reports no feasible result afterwards, which the co-optimizer treats as an
+// infeasible candidate rather than crashing the whole search.
+func (j *remoteJob) Advance(budget int) {
+	if j.err != nil {
+		return
+	}
+	state, err := j.client.AdvanceJob(j.id, budget)
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.state = state
+}
+
+// History returns the last-seen remote history.
+func (j *remoteJob) History() ppa.History { return j.state.History }
+
+// RawHistory returns the last-seen remote raw sample trajectory.
+func (j *remoteJob) RawHistory() ppa.History { return j.state.Raw }
+
+// Spent returns the last-seen remote budget spent.
+func (j *remoteJob) Spent() int { return j.state.Spent }
+
+// Best returns the last-seen remote best metrics.
+func (j *remoteJob) Best() (ppa.Metrics, bool) {
+	if j.err != nil || !j.state.Feasible {
+		return ppa.Metrics{}, false
+	}
+	return j.state.Best, true
+}
+
+// Err returns the latched transport error, if any.
+func (j *remoteJob) Err() error { return j.err }

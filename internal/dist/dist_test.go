@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"unico/internal/core"
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/workload"
+)
+
+func newWorker(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(NewServer().Handler())
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL, srv.Client())
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := newWorker(t)
+	if !c.Healthy() {
+		t.Error("worker not healthy")
+	}
+	dead := NewClient("http://127.0.0.1:1", nil)
+	if dead.Healthy() {
+		t.Error("unreachable worker reported healthy")
+	}
+}
+
+func TestPPAEndpointSpatial(t *testing.T) {
+	_, c := newWorker(t)
+	l := workload.Conv("c", 16, 8, 14, 14, 3, 3, 1, 1)
+	cfg := hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 1728, L2KB: 432, NoCBW: 128, Dataflow: hw.WeightStationary}
+	m := mapping.Spatial{TK: 1, TC: 1, TY: 1, TX: 1, TR: 1, TS: 1,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	resp, err := c.EvaluatePPA(PPARequest{
+		Platform: "spatial", SpatialHW: &cfg, SpatialMapping: &m, Layer: l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || !resp.Metrics.Valid() {
+		t.Fatalf("response: %+v", resp)
+	}
+}
+
+func TestPPAEndpointInfeasibleFlag(t *testing.T) {
+	_, c := newWorker(t)
+	l := workload.Conv("c", 64, 64, 28, 28, 3, 3, 1, 1)
+	cfg := hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 4, L2KB: 1, NoCBW: 64, Dataflow: hw.WeightStationary}
+	m := mapping.Spatial{TK: 8, TC: 8, TY: 4, TX: 4, TR: 3, TS: 3,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	resp, err := c.EvaluatePPA(PPARequest{
+		Platform: "spatial", SpatialHW: &cfg, SpatialMapping: &m, Layer: l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Infeasible {
+		t.Errorf("infeasible mapping not flagged: %+v", resp)
+	}
+}
+
+func TestPPAEndpointAscend(t *testing.T) {
+	_, c := newWorker(t)
+	l := workload.Gemm("g", 64, 256, 64, 1)
+	cfg := hw.DefaultAscend()
+	m := mapping.Ascend{TM: cfg.CubeM, TK: cfg.CubeK, TN: cfg.CubeN, FuseDepth: 1}.Canon(l)
+	resp, err := c.EvaluatePPA(PPARequest{
+		Platform: "ascend", AscendHW: &cfg, AscendMapping: &m, Layer: l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || !resp.Metrics.Valid() {
+		t.Fatalf("response: %+v", resp)
+	}
+}
+
+func TestPPAEndpointBadRequests(t *testing.T) {
+	_, c := newWorker(t)
+	if resp, err := c.EvaluatePPA(PPARequest{Platform: "quantum"}); err != nil {
+		t.Fatal(err)
+	} else if resp.Error == "" {
+		t.Error("unknown platform accepted")
+	}
+	if resp, err := c.EvaluatePPA(PPARequest{Platform: "spatial"}); err != nil {
+		t.Fatal(err)
+	} else if resp.Error == "" {
+		t.Error("missing spatial payload accepted")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, c := newWorker(t)
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 6, PEY: 6, L1Bytes: 1728, L2KB: 432, NoCBW: 128})
+	id, err := c.CreateJob(JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.AdvanceJob(id, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spent != 5 || len(st.History) != 5 {
+		t.Errorf("state after 5 units: %+v", st)
+	}
+	if !st.Feasible || !st.Best.Valid() {
+		t.Errorf("no feasible mapping: %+v", st)
+	}
+	// Poll without budget.
+	st2, err := c.AdvanceJob(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Spent != 5 {
+		t.Errorf("poll advanced the job: %+v", st2)
+	}
+	// Unknown job.
+	if _, err := c.AdvanceJob("job-999", 1); err == nil {
+		t.Error("unknown job accepted")
+	}
+}
+
+func TestJobSpecValidation(t *testing.T) {
+	_, c := newWorker(t)
+	cases := []JobSpec{
+		{Platform: "spatial", Scenario: "edge", Networks: nil, Algo: "flextensor"},
+		{Platform: "spatial", Scenario: "mars", Networks: []string{"ResNet"}, X: make([]float64, 6)},
+		{Platform: "spatial", Scenario: "edge", Networks: []string{"NoSuchNet"}, X: make([]float64, 6)},
+		{Platform: "spatial", Scenario: "edge", Networks: []string{"ResNet"}, X: make([]float64, 2)},
+		{Platform: "warp", Networks: []string{"ResNet"}, X: make([]float64, 6)},
+		{Platform: "spatial", Scenario: "edge", Networks: []string{"ResNet"}, X: make([]float64, 6), Algo: "psychic"},
+	}
+	for i, spec := range cases {
+		if _, err := c.CreateJob(spec); err == nil {
+			t.Errorf("case %d: bad spec accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestRemotePlatformEndToEnd(t *testing.T) {
+	var clients []*Client
+	for i := 0; i < 2; i++ {
+		_, c := newWorker(t)
+		clients = append(clients, c)
+	}
+	p, err := NewRemoteSpatialPlatform(clients, hw.Edge, []string{"MobileNetV3-S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.UNICOOptions(4, 2, 10, 3)
+	opt.Workers = 2
+	res := core.Run(p, opt)
+	if len(res.All) != 8 {
+		t.Fatalf("evaluated %d candidates, want 8", len(res.All))
+	}
+	if len(res.Front) == 0 {
+		t.Error("distributed run produced no feasible designs")
+	}
+}
+
+func TestRemotePlatformValidation(t *testing.T) {
+	if _, err := NewRemoteSpatialPlatform(nil, hw.Edge, []string{"ResNet"}); err == nil {
+		t.Error("no workers accepted")
+	}
+	_, c := newWorker(t)
+	if _, err := NewRemoteSpatialPlatform([]*Client{c}, hw.Edge, []string{"NoSuchNet"}); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestRemoteJobDeadWorker(t *testing.T) {
+	srv, c := newWorker(t)
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+	job, err := NewRemoteJob(c, JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	job.Advance(3) // must latch the transport error, not panic
+	if job.Err() == nil {
+		t.Error("transport error not latched")
+	}
+	if _, ok := job.Best(); ok {
+		t.Error("dead job reported a feasible result")
+	}
+}
+
+func TestRemotePlatformFailsOver(t *testing.T) {
+	// Two workers; kill one. Job creation must fail over to the survivor
+	// and the co-optimization must keep producing feasible candidates.
+	srv1, c1 := newWorker(t)
+	_, c2 := newWorker(t)
+	p, err := NewRemoteSpatialPlatform([]*Client{c1, c2}, hw.Edge, []string{"MobileNetV3-S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.HealthyWorkers(); got != 2 {
+		t.Fatalf("HealthyWorkers = %d, want 2", got)
+	}
+	srv1.Close()
+	if got := p.HealthyWorkers(); got != 1 {
+		t.Fatalf("HealthyWorkers after kill = %d, want 1", got)
+	}
+	space := hw.NewSpatialSpace(hw.Edge)
+	for i := 0; i < 4; i++ {
+		x := space.Encode(hw.Spatial{PEX: 4 + i, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+		job := p.NewJob(x, int64(i))
+		job.Advance(3)
+		if _, ok := job.Best(); !ok {
+			t.Fatalf("job %d found nothing despite a live worker", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package dist implements the scalable, parallel deployment of paper
+// Section 3.5 (Fig. 6): a standalone PPA-estimation REST service, a
+// mapping-search job service that worker ("slave") machines expose, and a
+// RemotePlatform that lets the master's co-optimizer fan software-mapping
+// jobs out across a pool of workers over HTTP.
+//
+// The wire protocol is plain JSON over net/http. Job state lives on the
+// worker: the master creates a job, then advances it in budget installments
+// exactly as the local successive-halving scheduler does, so early-stopped
+// candidates never waste worker time.
+package dist
+
+import (
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// PPARequest asks the PPA service to evaluate one
+// (hardware, mapping, layer) triple on the named platform.
+type PPARequest struct {
+	// Platform is "spatial" or "ascend".
+	Platform string `json:"platform"`
+	// SpatialHW and SpatialMapping are set when Platform is "spatial".
+	SpatialHW      *hw.Spatial      `json:"spatial_hw,omitempty"`
+	SpatialMapping *mapping.Spatial `json:"spatial_mapping,omitempty"`
+	// AscendHW and AscendMapping are set when Platform is "ascend".
+	AscendHW      *hw.Ascend      `json:"ascend_hw,omitempty"`
+	AscendMapping *mapping.Ascend `json:"ascend_mapping,omitempty"`
+	Layer         workload.Layer  `json:"layer"`
+}
+
+// PPAResponse returns the metrics or the infeasibility reason.
+type PPAResponse struct {
+	Metrics    ppa.Metrics `json:"metrics"`
+	Infeasible bool        `json:"infeasible,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// JobSpec describes a network-level mapping-search job.
+type JobSpec struct {
+	// Platform is "spatial" or "ascend".
+	Platform string `json:"platform"`
+	// Scenario is "edge" or "cloud" (spatial platform only).
+	Scenario string `json:"scenario,omitempty"`
+	// Networks names the workloads (zoo names) under co-optimization.
+	Networks []string `json:"networks"`
+	// X is the encoded hardware configuration.
+	X []float64 `json:"x"`
+	// Algo is "flextensor", "gamma" or "depthfirst".
+	Algo string `json:"algo"`
+	// Seed makes the job deterministic.
+	Seed int64 `json:"seed"`
+}
+
+// JobCreateResponse returns the worker-side job handle.
+type JobCreateResponse struct {
+	ID    string `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// AdvanceRequest spends more budget on an existing job.
+type AdvanceRequest struct {
+	ID     string `json:"id"`
+	Budget int    `json:"budget"`
+}
+
+// JobState mirrors the mapsearch.Searcher accessors over the wire.
+type JobState struct {
+	ID       string      `json:"id"`
+	Spent    int         `json:"spent"`
+	History  ppa.History `json:"history"`
+	Raw      ppa.History `json:"raw,omitempty"`
+	Best     ppa.Metrics `json:"best"`
+	Feasible bool        `json:"feasible"`
+	Error    string      `json:"error,omitempty"`
+}

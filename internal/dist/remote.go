@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"unico/internal/hw"
+	"unico/internal/mapsearch"
+	"unico/internal/mobo"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// RemoteSpatialPlatform implements core.Platform over a pool of worker
+// nodes: the master runs MOBO and successive halving locally, while every
+// software-mapping job executes on a worker — the master/slave deployment
+// of paper Fig. 6b. Jobs are assigned to workers round-robin.
+type RemoteSpatialPlatform struct {
+	workers  []*Client
+	space    *hw.SpatialSpace
+	scenario hw.Scenario
+	networks []string
+	layerN   int
+	algo     string
+	next     atomic.Uint64
+	// PerEvalSeconds is the simulated cost of one PPA evaluation on a
+	// worker (default: the analytical engine's 0.08 s).
+	PerEvalSeconds float64
+}
+
+// NewRemoteSpatialPlatform builds the master-side platform. The networks
+// must exist in the workload zoo of every worker.
+func NewRemoteSpatialPlatform(workers []*Client, sc hw.Scenario, networks []string) (*RemoteSpatialPlatform, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers")
+	}
+	layerN := 0
+	for _, n := range networks {
+		wl, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		layerN += len(wl.Layers)
+	}
+	return &RemoteSpatialPlatform{
+		workers:        workers,
+		space:          hw.NewSpatialSpace(sc),
+		scenario:       sc,
+		networks:       networks,
+		layerN:         layerN,
+		algo:           "flextensor",
+		PerEvalSeconds: 0.08,
+	}, nil
+}
+
+// Space returns the hardware design space.
+func (p *RemoteSpatialPlatform) Space() mobo.Space { return p.space }
+
+// NewJob creates the mapping search on the next worker (round-robin),
+// failing over to the remaining workers when one refuses the job. Only when
+// every worker is unreachable does the candidate become a dead job, which
+// the co-optimizer scores as infeasible — one lost candidate, not a lost
+// run.
+func (p *RemoteSpatialPlatform) NewJob(x []float64, seed int64) mapsearch.Searcher {
+	spec := JobSpec{
+		Platform: "spatial",
+		Scenario: p.scenario.String(),
+		Networks: p.networks,
+		X:        x,
+		Algo:     p.algo,
+		Seed:     seed,
+	}
+	start := int(p.next.Add(1))
+	for attempt := 0; attempt < len(p.workers); attempt++ {
+		w := p.workers[(start+attempt)%len(p.workers)]
+		job, err := NewRemoteJob(w, spec)
+		if err == nil {
+			return job
+		}
+	}
+	return deadJob{}
+}
+
+// HealthyWorkers returns how many workers currently answer their health
+// endpoint — an operational check for the master before a long run.
+func (p *RemoteSpatialPlatform) HealthyWorkers() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// EvalCostSeconds is the per-budget-unit simulated cost (one engine call
+// per layer).
+func (p *RemoteSpatialPlatform) EvalCostSeconds() float64 {
+	return p.PerEvalSeconds * float64(p.layerN)
+}
+
+// Describe renders the hardware at x.
+func (p *RemoteSpatialPlatform) Describe(x []float64) string { return p.space.Describe(x) }
+
+// PowerCapMW is the scenario's power constraint.
+func (p *RemoteSpatialPlatform) PowerCapMW() float64 { return p.scenario.PowerCapMW() }
+
+// AreaCapMM2 is unconstrained on the open-source platform.
+func (p *RemoteSpatialPlatform) AreaCapMM2() float64 { return 0 }
+
+// deadJob is the null searcher returned when a worker is unreachable.
+type deadJob struct{}
+
+func (deadJob) Advance(int)               {}
+func (deadJob) History() ppa.History      { return nil }
+func (deadJob) RawHistory() ppa.History   { return nil }
+func (deadJob) Spent() int                { return 0 }
+func (deadJob) Best() (ppa.Metrics, bool) { return ppa.Metrics{}, false }

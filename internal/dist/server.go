@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"unico/internal/camodel"
+	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/mapsearch"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// Server is a worker node: it exposes the PPA-estimation engine and hosts
+// resumable mapping-search jobs (the "Jobs" of paper Fig. 6a).
+type Server struct {
+	spatial maestro.Engine
+	ascend  camodel.Engine
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*serverJob
+}
+
+type serverJob struct {
+	mu       sync.Mutex
+	searcher mapsearch.Searcher
+}
+
+// NewServer builds a worker with default engines.
+func NewServer() *Server {
+	return &Server{jobs: map[string]*serverJob{}}
+}
+
+// Handler returns the HTTP handler exposing the worker API:
+//
+//	POST /v1/ppa          evaluate one (hw, mapping, layer) triple
+//	POST /v1/jobs         create a mapping-search job
+//	POST /v1/jobs/advance spend budget on a job
+//	GET  /v1/healthz      liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ppa", s.handlePPA)
+	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	mux.HandleFunc("POST /v1/jobs/advance", s.handleAdvance)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handlePPA(w http.ResponseWriter, r *http.Request) {
+	var req PPARequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	var resp PPAResponse
+	switch req.Platform {
+	case "spatial":
+		if req.SpatialHW == nil || req.SpatialMapping == nil {
+			writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "spatial_hw and spatial_mapping required"})
+			return
+		}
+		met, err := s.spatial.Evaluate(*req.SpatialHW, *req.SpatialMapping, req.Layer)
+		resp = ppaResponse(met, err, maestro.ErrInfeasible)
+	case "ascend":
+		if req.AscendHW == nil || req.AscendMapping == nil {
+			writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "ascend_hw and ascend_mapping required"})
+			return
+		}
+		met, err := s.ascend.Evaluate(*req.AscendHW, *req.AscendMapping, req.Layer)
+		resp = ppaResponse(met, err, camodel.ErrInfeasible)
+	default:
+		writeJSON(w, http.StatusBadRequest, PPAResponse{Error: fmt.Sprintf("unknown platform %q", req.Platform)})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func ppaResponse(met ppa.Metrics, err error, infeasible error) PPAResponse {
+	if err != nil {
+		resp := PPAResponse{Error: err.Error()}
+		if errors.Is(err, infeasible) {
+			resp.Infeasible = true
+		}
+		return resp
+	}
+	return PPAResponse{Metrics: met}
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, JobCreateResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	searcher, err := s.buildSearcher(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, JobCreateResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "job-" + strconv.Itoa(s.nextID)
+	s.jobs[id] = &serverJob{searcher: searcher}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, JobCreateResponse{ID: id})
+}
+
+// buildSearcher materializes the job's network searcher from the spec.
+func (s *Server) buildSearcher(spec JobSpec) (mapsearch.Searcher, error) {
+	if len(spec.Networks) == 0 {
+		return nil, fmt.Errorf("dist: job spec names no networks")
+	}
+	var layers []workload.Layer
+	var name string
+	for _, n := range spec.Networks {
+		wl, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, wl.Layers...)
+		name += n + "+"
+	}
+	combined := workload.Workload{Name: name, Layers: layers}
+	algo, err := parseAlgo(spec.Algo)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Platform {
+	case "spatial":
+		space, err := spatialSpace(spec.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		if len(spec.X) != space.Dim() {
+			return nil, fmt.Errorf("dist: x has %d coords, want %d", len(spec.X), space.Dim())
+		}
+		cfg := space.Decode(spec.X)
+		return mapsearch.NewSpatialSearcher(s.spatial, cfg, combined, algo, spec.Seed), nil
+	case "ascend":
+		space := hw.NewAscendSpace()
+		if len(spec.X) != space.Dim() {
+			return nil, fmt.Errorf("dist: x has %d coords, want %d", len(spec.X), space.Dim())
+		}
+		cfg := space.Decode(spec.X)
+		return mapsearch.NewAscendSearcher(s.ascend, cfg, combined, algo, spec.Seed), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown platform %q", spec.Platform)
+	}
+}
+
+func spatialSpace(scenario string) (*hw.SpatialSpace, error) {
+	switch scenario {
+	case "edge", "":
+		return hw.NewSpatialSpace(hw.Edge), nil
+	case "cloud":
+		return hw.NewSpatialSpace(hw.Cloud), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown scenario %q", scenario)
+	}
+}
+
+func parseAlgo(a string) (mapsearch.Algo, error) {
+	switch a {
+	case "flextensor", "":
+		return mapsearch.FlexTensorLike, nil
+	case "gamma":
+		return mapsearch.GammaLike, nil
+	case "depthfirst":
+		return mapsearch.DepthFirst, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown algo %q", a)
+	}
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, JobState{Error: "bad request: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	job := s.jobs[req.ID]
+	s.mu.Unlock()
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, JobState{ID: req.ID, Error: "unknown job"})
+		return
+	}
+	if req.Budget < 0 {
+		writeJSON(w, http.StatusBadRequest, JobState{ID: req.ID, Error: "negative budget"})
+		return
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if req.Budget > 0 {
+		job.searcher.Advance(req.Budget)
+	}
+	state := JobState{
+		ID:      req.ID,
+		Spent:   job.searcher.Spent(),
+		History: job.searcher.History(),
+		Raw:     job.searcher.RawHistory(),
+	}
+	if met, ok := job.searcher.Best(); ok {
+		state.Best = met
+		state.Feasible = true
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unico/internal/hw"
+)
+
+// tinyScale keeps the runners fast enough for unit tests while still
+// exercising every code path.
+func tinyScale() Scale {
+	return Scale{
+		Batch: 6, MaxIter: 2, BMax: 12,
+		HASCOIter: 2, UNICOIter: 4,
+		NSGAPop: 6, NSGAGen: 2,
+		AscendBatch: 5, AscendIter: 2, AscendBMax: 10,
+		Seed: 1,
+	}
+}
+
+func TestRunEdgeCloudTable(t *testing.T) {
+	var buf bytes.Buffer
+	res := RunEdgeCloudTable(&buf, hw.Edge, tinyScale())
+	if len(res.Rows) != 7*3 {
+		t.Fatalf("rows = %d, want 21 (7 networks x 3 methods)", len(res.Rows))
+	}
+	methods := map[string]int{}
+	feasibleRows := 0
+	for _, r := range res.Rows {
+		methods[r.Method]++
+		if r.CostHours <= 0 {
+			t.Errorf("%s/%s: zero cost", r.Network, r.Method)
+		}
+		if r.Metrics.Valid() {
+			feasibleRows++
+		}
+	}
+	if methods["HASCO"] != 7 || methods["NSGAII"] != 7 || methods["UNICO"] != 7 {
+		t.Errorf("method counts: %v", methods)
+	}
+	if feasibleRows < 15 {
+		t.Errorf("only %d/21 rows produced feasible designs", feasibleRows)
+	}
+	if !strings.Contains(buf.String(), "UNICO") {
+		t.Error("printed table missing UNICO rows")
+	}
+	// UNICO must be cheaper than HASCO on every network (the cost shape).
+	for net, speedup := range res.SpeedupSummary() {
+		if speedup <= 1 {
+			t.Errorf("%s: UNICO not cheaper than HASCO (speedup %.2fx)", net, speedup)
+		}
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	res := RunAblation(nil, tinyScale())
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4 variants", len(res.Curves))
+	}
+	names := map[string]bool{}
+	for _, c := range res.Curves {
+		names[c.Method] = true
+		if len(c.Hours) == 0 || len(c.Hours) != len(c.HVDiff) {
+			t.Errorf("%s: malformed curve", c.Method)
+		}
+		for _, d := range c.HVDiff {
+			if d < 0 {
+				t.Errorf("%s: negative HV difference %v", c.Method, d)
+			}
+		}
+	}
+	for _, want := range []string{"HASCO", "SH+Champion", "MSH+Champion", "UNICO"} {
+		if !names[want] {
+			t.Errorf("missing variant %q", want)
+		}
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	c := MethodCurve{Method: "X", Hours: []float64{1, 2, 3}, HVDiff: []float64{0.5, 0.2, 0.1}}
+	if c.Final() != 0.1 {
+		t.Errorf("Final = %v", c.Final())
+	}
+	if (MethodCurve{}).Final() != 0 {
+		t.Error("empty Final != 0")
+	}
+	r := CurveResult{Curves: []MethodCurve{c}}
+	if got := r.HoursToReach("X", 0.2); got != 2 {
+		t.Errorf("HoursToReach = %v, want 2", got)
+	}
+	if got := r.HoursToReach("X", 0.01); got != inf() {
+		t.Errorf("unreachable level = %v, want inf", got)
+	}
+	if relImprove(10, 7) != 30 {
+		t.Errorf("relImprove = %v", relImprove(10, 7))
+	}
+	if relImprove(0, 7) != 0 {
+		t.Error("relImprove with zero base")
+	}
+}
+
+func TestRunRobustnessIndicator(t *testing.T) {
+	var buf bytes.Buffer
+	res := RunRobustnessIndicator(&buf, tinyScale())
+	if res.FrontSize == 0 {
+		t.Fatal("empty training front")
+	}
+	for _, p := range res.Pairs {
+		if p.Robust.Sensitivity > p.Fragile.Sensitivity {
+			t.Errorf("pair mislabeled: robust R %v > fragile R %v",
+				p.Robust.Sensitivity, p.Fragile.Sensitivity)
+		}
+		if len(p.Robust.ValLatency) == 0 {
+			t.Error("pair missing validation latencies")
+		}
+	}
+}
+
+func TestComparablePairs(t *testing.T) {
+	if got := ppaClose([]float64{100, 10, 1}, []float64{105, 10.2, 1.01}, 0.10); !got {
+		t.Error("close PPAs rejected")
+	}
+	if got := ppaClose([]float64{100, 10, 1}, []float64{150, 10, 1}, 0.10); got {
+		t.Error("distant PPAs accepted")
+	}
+}
+
+func TestRunGeneralization(t *testing.T) {
+	res := RunGeneralization(nil, tinyScale())
+	if res.UNICOHW == "" || res.HASCOHW == "" {
+		t.Skip("tiny scale produced no representative; acceptable at this size")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no validation rows")
+	}
+	for _, r := range res.Rows {
+		if r.UNICODist <= 0 || r.HASCODist <= 0 {
+			t.Errorf("%s: degenerate distances %+v", r.Network, r)
+		}
+	}
+}
+
+func TestRunAscend(t *testing.T) {
+	var buf bytes.Buffer
+	res := RunAscend(&buf, tinyScale())
+	if len(res.Rows) == 0 {
+		t.Fatal("no Ascend rows")
+	}
+	for _, r := range res.Rows {
+		if r.DefaultLatencyMs <= 0 || r.FoundLatencyMs <= 0 {
+			t.Errorf("%s: degenerate latencies %+v", r.Network, r)
+		}
+		if r.FoundHW == "" {
+			t.Errorf("%s: missing found config", r.Network)
+		}
+	}
+	if !strings.Contains(buf.String(), "default:") {
+		t.Error("output missing the default config")
+	}
+}
+
+func TestHypervolumeHelpers(t *testing.T) {
+	pts := [][]float64{{1, 2, 3}, {2, 1, 3}, {3, 3, 1}}
+	ref := refPoint(pts)
+	for j, v := range ref {
+		if v <= 3 {
+			t.Errorf("ref[%d] = %v, want > max", j, v)
+		}
+	}
+	hv := normHV(pts, ref)
+	if hv <= 0 || hv > 1 {
+		t.Errorf("normHV = %v, want (0, 1]", hv)
+	}
+	if normHV(nil, ref) != 0 {
+		t.Error("normHV(empty) != 0")
+	}
+	if got := refPoint(nil); got != nil {
+		t.Error("refPoint(empty) != nil")
+	}
+}
+
+func TestThinFront(t *testing.T) {
+	var pts [][]float64
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{float64(i), float64(40 - i)})
+	}
+	thinned := thinFront(pts, 10)
+	if len(thinned) != 10 {
+		t.Errorf("thinned to %d, want 10", len(thinned))
+	}
+	// Extremes (infinite crowding distance) must survive.
+	hasFirst, hasLast := false, false
+	for _, p := range thinned {
+		if p[0] == 0 {
+			hasFirst = true
+		}
+		if p[0] == 39 {
+			hasLast = true
+		}
+	}
+	if !hasFirst || !hasLast {
+		t.Error("thinning dropped a boundary point")
+	}
+}
+
+func TestMinEuclidDistance(t *testing.T) {
+	pool := [][]float64{{10, 100}, {20, 50}}
+	d1 := minEuclidDistance([]float64{10, 100}, pool)
+	d2 := minEuclidDistance([]float64{20, 100}, pool)
+	if d1 >= d2 {
+		t.Errorf("dominating point not closer: %v >= %v", d1, d2)
+	}
+}
+
+func TestScales(t *testing.T) {
+	p := PaperScale()
+	if p.Batch != 30 || p.BMax != 300 || p.AscendBatch != 8 || p.AscendBMax != 200 {
+		t.Errorf("PaperScale does not match the paper: %+v", p)
+	}
+	s := SmallScale()
+	if s.Batch >= p.Batch || s.BMax >= p.BMax {
+		t.Errorf("SmallScale not smaller: %+v", s)
+	}
+}

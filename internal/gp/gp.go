@@ -1,0 +1,200 @@
+// Package gp implements Gaussian-process regression, the surrogate model of
+// UNICO's multi-objective Bayesian optimization (paper Section 3.2).
+//
+// The regressor follows the textbook formulation (Rasmussen & Williams,
+// Algorithm 2.1): targets are standardized, the kernel matrix is factored by
+// Cholesky, and hyperparameters (a shared lengthscale, signal variance and
+// noise) are selected by maximizing the log marginal likelihood over a small
+// grid — robust and dependency-free, which is what a from-scratch surrogate
+// wants.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"unico/internal/linalg"
+)
+
+// Kernel is a positive-definite covariance function on R^d.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+}
+
+// RBF is the squared-exponential kernel
+// k(x,y) = σ²·exp(-‖x-y‖² / (2ℓ²)).
+type RBF struct {
+	Lengthscale float64
+	Variance    float64
+}
+
+// Eval returns k(x, y).
+func (k RBF) Eval(x, y []float64) float64 {
+	return k.Variance * math.Exp(-sqDist(x, y)/(2*k.Lengthscale*k.Lengthscale))
+}
+
+// Matern52 is the Matérn-5/2 kernel, the default surrogate kernel in most
+// BO frameworks: rougher than RBF, a better fit for hardware cost surfaces
+// with ceil-division kinks.
+type Matern52 struct {
+	Lengthscale float64
+	Variance    float64
+}
+
+// Eval returns k(x, y).
+func (k Matern52) Eval(x, y []float64) float64 {
+	r := math.Sqrt(sqDist(x, y)) / k.Lengthscale
+	s := math.Sqrt(5) * r
+	return k.Variance * (1 + s + 5*r*r/3) * math.Exp(-s)
+}
+
+func sqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("gp: dimension mismatch %d vs %d", len(x), len(y)))
+	}
+	sum := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// GP is a fitted Gaussian-process regressor.
+type GP struct {
+	kernel Kernel
+	noise  float64
+	x      [][]float64
+	chol   *linalg.Matrix
+	alpha  []float64
+	meanY  float64
+	stdY   float64
+}
+
+// ErrNoData reports a fit attempt with no training points.
+var ErrNoData = errors.New("gp: no training data")
+
+// Fit trains a GP on (x, y) with fixed kernel hyperparameters.
+func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) {
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("gp: %d inputs vs %d targets", len(x), len(y))
+	}
+	mean, std := meanStd(y)
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - mean) / std
+	}
+	n := len(x)
+	k := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(x[i], x[j])
+			if i == j {
+				v += noise
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	chol, err := linalg.Cholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: %w", err)
+	}
+	alpha := linalg.CholeskySolve(chol, ys)
+	return &GP{
+		kernel: kernel, noise: noise,
+		x: x, chol: chol, alpha: alpha,
+		meanY: mean, stdY: std,
+	}, nil
+}
+
+// FitAuto trains a GP selecting hyperparameters by log-marginal-likelihood
+// grid search over lengthscales and noise levels, with Matérn-5/2 kernels of
+// unit signal variance on standardized targets.
+func FitAuto(x [][]float64, y []float64) (*GP, error) {
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	lengthscales := []float64{0.08, 0.15, 0.3, 0.6, 1.2}
+	noises := []float64{1e-4, 1e-2, 5e-2}
+	var best *GP
+	bestLML := math.Inf(-1)
+	for _, ls := range lengthscales {
+		for _, nz := range noises {
+			g, err := Fit(x, y, Matern52{Lengthscale: ls, Variance: 1}, nz)
+			if err != nil {
+				continue
+			}
+			lml := g.LogMarginalLikelihood()
+			if lml > bestLML {
+				best, bestLML = g, lml
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gp: all hyperparameter candidates failed to factor")
+	}
+	return best, nil
+}
+
+// LogMarginalLikelihood returns log p(y|X) of the standardized targets,
+// using the identity log p = -½·yᵀα - Σᵢ log Lᵢᵢ - n/2·log 2π with
+// y reconstructed as K·α = L·(Lᵀ·α).
+func (g *GP) LogMarginalLikelihood() float64 {
+	n := len(g.x)
+	w := make([]float64, n) // w = Lᵀ·α
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		for j := k; j < n; j++ {
+			sum += g.chol.At(j, k) * g.alpha[j]
+		}
+		w[k] = sum
+	}
+	quad := 0.0 // yᵀα = (L·w)ᵀα = wᵀ(Lᵀα) = wᵀw
+	for _, v := range w {
+		quad += v * v
+	}
+	return -0.5*quad - 0.5*linalg.LogDetFromChol(g.chol) - 0.5*float64(n)*math.Log(2*math.Pi)
+}
+
+// Predict returns the posterior mean and variance at x (on the original
+// target scale).
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := range g.x {
+		ks[i] = g.kernel.Eval(g.x[i], x)
+	}
+	mu := linalg.Dot(ks, g.alpha)
+	v := linalg.SolveLower(g.chol, ks)
+	varS := g.kernel.Eval(x, x) + g.noise - linalg.Dot(v, v)
+	if varS < 1e-12 {
+		varS = 1e-12
+	}
+	return mu*g.stdY + g.meanY, varS * g.stdY * g.stdY
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.x) }
+
+// meanStd returns the mean and (guarded) standard deviation of v.
+func meanStd(v []float64) (mean, std float64) {
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(v)))
+	if std < 1e-12 {
+		std = 1
+	}
+	return mean, std
+}

@@ -1,0 +1,153 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelsBasicProperties(t *testing.T) {
+	kernels := []Kernel{
+		RBF{Lengthscale: 0.5, Variance: 2},
+		Matern52{Lengthscale: 0.5, Variance: 2},
+	}
+	x := []float64{0.3, 0.7}
+	y := []float64{0.5, 0.1}
+	for _, k := range kernels {
+		if got := k.Eval(x, x); math.Abs(got-2) > 1e-12 {
+			t.Errorf("%T: k(x,x) = %v, want variance 2", k, got)
+		}
+		if k.Eval(x, y) != k.Eval(y, x) {
+			t.Errorf("%T: kernel not symmetric", k)
+		}
+		if k.Eval(x, y) >= k.Eval(x, x) {
+			t.Errorf("%T: k(x,y) >= k(x,x) for x != y", k)
+		}
+		if k.Eval(x, y) <= 0 {
+			t.Errorf("%T: kernel not positive", k)
+		}
+	}
+}
+
+func trainingData(n int, f func(x float64) float64) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		xs[i] = []float64{x}
+		ys[i] = f(x)
+	}
+	return xs, ys
+}
+
+func TestFitInterpolatesTrainingPoints(t *testing.T) {
+	xs, ys := trainingData(9, func(x float64) float64 { return math.Sin(4 * x) })
+	g, err := Fit(xs, ys, Matern52{Lengthscale: 0.3, Variance: 1}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mu, _ := g.Predict(x)
+		if math.Abs(mu-ys[i]) > 0.05 {
+			t.Errorf("Predict(%v) = %v, want ~%v", x, mu, ys[i])
+		}
+	}
+	if g.N() != 9 {
+		t.Errorf("N() = %d", g.N())
+	}
+}
+
+func TestVarianceShrinksNearData(t *testing.T) {
+	xs, ys := trainingData(6, func(x float64) float64 { return x * x })
+	g, err := Fit(xs, ys, Matern52{Lengthscale: 0.3, Variance: 1}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, atData := g.Predict(xs[2])
+	_, far := g.Predict([]float64{5.0})
+	if atData >= far {
+		t.Errorf("variance at training point %v >= far away %v", atData, far)
+	}
+}
+
+func TestFitAutoSelectsReasonableModel(t *testing.T) {
+	xs, ys := trainingData(12, func(x float64) float64 { return 3*x + 1 })
+	g, err := FitAuto(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := g.Predict([]float64{0.5})
+	if math.Abs(mu-2.5) > 0.3 {
+		t.Errorf("Predict(0.5) = %v, want ~2.5", mu)
+	}
+	if lml := g.LogMarginalLikelihood(); math.IsNaN(lml) || math.IsInf(lml, 0) {
+		t.Errorf("LML = %v", lml)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, RBF{Lengthscale: 1, Variance: 1}, 1e-4); err == nil {
+		t.Error("Fit accepted no data")
+	}
+	if _, err := FitAuto(nil, nil); err == nil {
+		t.Error("FitAuto accepted no data")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, RBF{Lengthscale: 1, Variance: 1}, 1e-4); err == nil {
+		t.Error("Fit accepted mismatched lengths")
+	}
+}
+
+func TestConstantTargetsDoNotBlowUp(t *testing.T) {
+	xs, _ := trainingData(5, nil2)
+	ys := []float64{7, 7, 7, 7, 7}
+	g, err := FitAuto(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, v := g.Predict([]float64{0.5})
+	if math.Abs(mu-7) > 0.5 || math.IsNaN(v) {
+		t.Errorf("Predict = %v, %v", mu, v)
+	}
+}
+
+func nil2(x float64) float64 { return 0 }
+
+// TestPredictionsFiniteProperty: any fitted GP must return finite
+// predictions everywhere in the unit cube.
+func TestPredictionsFiniteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float64, 15)
+	ys := make([]float64, 15)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = rng.NormFloat64() * 10
+	}
+	g, err := FitAuto(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		x := []float64{math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)}
+		mu, v := g.Predict(x)
+		return !math.IsNaN(mu) && !math.IsInf(mu, 0) && v > 0 && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLMLPrefersBetterFit(t *testing.T) {
+	// The marginal likelihood of a model with a sensible lengthscale must
+	// exceed that of an absurd one on smooth data.
+	xs, ys := trainingData(10, func(x float64) float64 { return math.Sin(3 * x) })
+	good, err1 := Fit(xs, ys, Matern52{Lengthscale: 0.3, Variance: 1}, 1e-4)
+	bad, err2 := Fit(xs, ys, Matern52{Lengthscale: 1e-4, Variance: 1}, 1e-4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if good.LogMarginalLikelihood() <= bad.LogMarginalLikelihood() {
+		t.Errorf("LML(good) %v <= LML(bad) %v",
+			good.LogMarginalLikelihood(), bad.LogMarginalLikelihood())
+	}
+}

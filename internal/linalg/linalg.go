@@ -1,0 +1,164 @@
+// Package linalg provides the small dense linear-algebra kernel the Gaussian
+// process surrogate needs: symmetric positive-definite solves via Cholesky
+// factorization. Implemented from scratch on the standard library only.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPD reports a matrix that is not (numerically) positive definite.
+var ErrNotPD = errors.New("linalg: matrix not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zero r×c matrix.
+func New(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// matrix A. A small diagonal jitter is added progressively (up to jitterMax)
+// if the factorization fails, the standard GP numerical safeguard. The input
+// is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	const jitterMax = 1e-3
+	jitter := 0.0
+	for {
+		l, ok := tryCholesky(a, jitter)
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 10
+		}
+		if jitter > jitterMax {
+			return nil, ErrNotPD
+		}
+	}
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveLower got %d rhs entries, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// SolveLowerT solves Lᵀ·x = b for lower-triangular L by back substitution.
+func SolveLowerT(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveLowerT got %d rhs entries, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	return SolveLowerT(l, SolveLower(l, b))
+}
+
+// LogDetFromChol returns log|A| = 2·Σ log L_ii given the Cholesky factor L.
+func LogDetFromChol(l *Matrix) float64 {
+	sum := 0.0
+	for i := 0; i < l.Rows; i++ {
+		sum += math.Log(l.At(i, i))
+	}
+	return 2 * sum
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot of lengths %d and %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// MulVec returns A·x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("linalg: MulVec got %d entries, want %d", len(x), a.Cols))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		out[i] = Dot(row, x)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnownMatrix(t *testing.T) {
+	// A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+	a := New(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("L = %+v", l)
+	}
+	if got, want := LogDetFromChol(l), math.Log(4*3-2*2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, -1)
+	a.Set(1, 1, -1)
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPD) {
+		t.Errorf("err = %v, want ErrNotPD", err)
+	}
+	if _, err := Cholesky(New(2, 3)); err == nil {
+		t.Error("accepted non-square matrix")
+	}
+}
+
+// randomSPD builds AᵀA + I, which is symmetric positive definite.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := New(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				sum += 1
+			}
+			a.Set(i, j, sum)
+		}
+	}
+	return a
+}
+
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		// Check A ≈ L Lᵀ.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k < n; k++ {
+					sum += l.At(i, k) * l.At(j, k)
+				}
+				if math.Abs(sum-a.At(i, j)) > 1e-8*(1+math.Abs(a.At(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(n, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := CholeskySolve(l, b)
+		// Residual ||Ax - b|| must be tiny.
+		ax := MulVec(a, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	l := New(2, 2)
+	l.Set(0, 0, 2)
+	l.Set(1, 0, 1)
+	l.Set(1, 1, 3)
+	// L x = [4, 7]: x0 = 2, x1 = (7-2)/3.
+	x := SolveLower(l, []float64{4, 7})
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-5.0/3) > 1e-12 {
+		t.Errorf("SolveLower = %v", x)
+	}
+	// Lᵀ y = [4, 6]: y1 = 2, y0 = (4-1*2)/2 = 1.
+	y := SolveLowerT(l, []float64{4, 6})
+	if math.Abs(y[1]-2) > 1e-12 || math.Abs(y[0]-1) > 1e-12 {
+		t.Errorf("SolveLowerT = %v", y)
+	}
+}
+
+func TestDotAndMulVec(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	a := New(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVec(a, []float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestPanicsOnShapeMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dot":    func() { Dot([]float64{1}, []float64{1, 2}) },
+		"MulVec": func() { MulVec(New(2, 2), []float64{1}) },
+		"SolveLower": func() {
+			SolveLower(New(2, 2), []float64{1})
+		},
+		"New": func() { New(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(1, 2)
+	a.Set(0, 0, 5)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 5 {
+		t.Error("Clone aliases the original")
+	}
+}

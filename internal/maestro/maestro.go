@@ -1,0 +1,420 @@
+// Package maestro implements an analytical power-performance-area model of
+// the open-source 2D spatial accelerator, in the spirit of MAESTRO [35]: a
+// data-centric reuse analysis over the tiled 7D convolution nest.
+//
+// The model reproduces the structure of MAESTRO's estimates rather than its
+// exact numbers (which depend on proprietary technology tables):
+//
+//   - Latency is the maximum of compute, NoC and DRAM stream times per the
+//     perfect double-buffering assumption analytical models make.
+//   - Compute time counts per-PE tile steps including the ceil-division
+//     padding losses, so under-utilized arrays are penalized naturally.
+//   - Memory traffic is derived from operand dependence sets: an operand is
+//     refetched once per trip of every loop it does not depend on, unless
+//     the dataflow pins it (weight-stationary pins weights in L1,
+//     output-stationary pins partial sums) or it fits wholly in L2.
+//   - Energy integrates per-byte access costs at each hierarchy level plus
+//     per-MAC compute energy; power adds capacity-proportional leakage.
+//   - Area sums PE, SRAM and NoC contributions.
+//
+// Mappings whose tiles do not fit their buffers are rejected with an error;
+// the search layers treat such mappings as infeasible.
+package maestro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// ErrInfeasible reports a mapping that violates a buffer capacity constraint
+// on the given hardware.
+var ErrInfeasible = errors.New("maestro: mapping infeasible on hardware")
+
+// Technology constants of the synthetic 28nm-class process the model
+// assumes. Only relative magnitudes matter for the co-search: DRAM ≫ L2 ≫ L1
+// per-byte energy, SRAM leakage proportional to capacity, and PE-array
+// compute power that can breach the 2 W edge cap for the largest arrays.
+const (
+	ClockGHz = 1.0 // core clock
+
+	macEnergyPJ  = 2.0   // energy per int8 MAC
+	l1EnergyPJ   = 1.1   // per byte moved between L1 and a PE
+	l2EnergyPJ   = 6.0   // per byte moved between L2 and L1 (incl. NoC)
+	dramEnergyPJ = 120.0 // per byte moved between DRAM and L2
+
+	peLeakMW     = 0.04  // leakage per PE
+	sramLeakMWKB = 0.009 // leakage per KB of on-chip SRAM
+
+	peAreaMM2     = 0.014  // area per PE (MAC + register file + control)
+	sramAreaMM2KB = 0.0045 // area per KB of SRAM
+	nocAreaMM2PE  = 0.0006 // NoC router area per PE at 64 B/cycle
+
+	dramBWBytesPerCycle = 16.0 // off-chip bandwidth
+
+	// l1RegReuse discounts L1→PE traffic for register-level reuse of the
+	// unrolled R×S kernel window (each operand byte feeds several MACs).
+	l1RegReuse = 0.35
+)
+
+// Engine is the analytical PPA estimator. The zero value is ready to use;
+// EvalSeconds may be overridden to change the simulated per-evaluation cost.
+type Engine struct {
+	// EvalSeconds is the simulated wall-clock cost of one Evaluate call,
+	// matching the paper's "analytical models output PPA in order of
+	// milliseconds-to-seconds". Zero means the default of 80 ms.
+	EvalSeconds float64
+}
+
+// EvalCostSeconds returns the simulated cost of one evaluation.
+func (e Engine) EvalCostSeconds() float64 {
+	if e.EvalSeconds > 0 {
+		return e.EvalSeconds
+	}
+	return 0.08
+}
+
+// Area returns the silicon area of a configuration in mm². Area depends only
+// on the hardware, not on the mapping or workload.
+func (Engine) Area(c hw.Spatial) float64 {
+	totalL1KB := float64(c.PEs()) * float64(c.L1Bytes) / 1024
+	nocScale := float64(c.NoCBW) / 64
+	return float64(c.PEs())*peAreaMM2 +
+		(totalL1KB+float64(c.L2KB))*sramAreaMM2KB +
+		float64(c.PEs())*nocAreaMM2PE*nocScale
+}
+
+// leakageMW returns the static power of a configuration in mW.
+func leakageMW(c hw.Spatial) float64 {
+	totalL1KB := float64(c.PEs()) * float64(c.L1Bytes) / 1024
+	return float64(c.PEs())*peLeakMW + (totalL1KB+float64(c.L2KB))*sramLeakMWKB
+}
+
+// operand identifies the three tensors of a convolution.
+type operand int
+
+const (
+	opInput operand = iota
+	opWeight
+	opOutput
+)
+
+// depends reports whether the operand's footprint varies with loop dimension
+// d. Depthwise convolutions couple the input to K instead of C.
+func depends(p operand, d mapping.Dim, depthwise bool) bool {
+	switch p {
+	case opInput:
+		if depthwise {
+			return d != mapping.DimC
+		}
+		return d != mapping.DimK
+	case opWeight:
+		return d == mapping.DimK || d == mapping.DimC
+	case opOutput:
+		return d != mapping.DimC
+	}
+	panic(fmt.Sprintf("maestro: bad operand %d", p))
+}
+
+// Report is the detailed account behind one evaluation: where the cycles
+// and the energy went, and which resource bound the latency. It is the
+// design-insight surface analytical models like MAESTRO are used for.
+type Report struct {
+	Metrics ppa.Metrics
+
+	// ComputeCycles, NoCCycles and DRAMCycles are the per-resource stream
+	// times; latency is their maximum (perfect double buffering).
+	ComputeCycles, NoCCycles, DRAMCycles float64
+	// Bottleneck names the binding resource: "compute", "noc" or "dram".
+	Bottleneck string
+
+	// NoCBytes and DRAMBytes are the total traffic volumes.
+	NoCBytes, DRAMBytes float64
+	// PEUtilization is useful MACs / (PEs × compute cycles): the fraction
+	// of MAC slots doing real work under this mapping.
+	PEUtilization float64
+	// EnergyPJ breaks the dynamic+static energy down by source:
+	// "mac", "l1", "noc+l2", "dram", "leakage".
+	EnergyPJ map[string]float64
+}
+
+// Evaluate returns the PPA of running one layer with mapping m on hardware c.
+func (e Engine) Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error) {
+	rep, err := e.Explain(c, m, l)
+	if err != nil {
+		return ppa.Metrics{}, err
+	}
+	return rep.Metrics, nil
+}
+
+// Explain evaluates like Evaluate but returns the full Report.
+func (e Engine) Explain(c hw.Spatial, m mapping.Spatial, l workload.Layer) (Report, error) {
+	if err := l.Validate(); err != nil {
+		return Report{}, err
+	}
+	m = m.Canon(l)
+	depthwise := l.Kind == workload.DWConv2D
+
+	// Per-PE tile footprints in bytes (int8 activations/weights, int32
+	// partial sums held as 2 bytes after requantization headroom). The
+	// kernel window is tiled by TR×TS, so the input halo only covers the
+	// active taps.
+	inTileC := m.TC
+	if depthwise {
+		inTileC = m.TK
+	}
+	inTile := float64(inTileC) * float64((m.TY-1)*l.Stride+m.TR) * float64((m.TX-1)*l.Stride+m.TS)
+	wTile := float64(m.TK) * float64(m.TC) * float64(m.TR) * float64(m.TS)
+	if depthwise {
+		wTile = float64(m.TK) * float64(m.TR) * float64(m.TS)
+	}
+	outTile := 2 * float64(m.TK) * float64(m.TY) * float64(m.TX)
+
+	// Double-buffered L1 residency.
+	if 2*(inTile+wTile+outTile) > float64(c.L1Bytes) {
+		return Report{}, fmt.Errorf("%w: L1 tile %d B > %d B", ErrInfeasible,
+			int(2*(inTile+wTile+outTile)), c.L1Bytes)
+	}
+
+	// Spatial extents and per-dimension trip counts.
+	bounds := map[mapping.Dim]int{
+		mapping.DimK: l.K, mapping.DimC: l.C, mapping.DimY: l.Y, mapping.DimX: l.X,
+	}
+	if depthwise {
+		bounds[mapping.DimC] = 1
+	}
+	extent := func(d mapping.Dim) int {
+		switch d {
+		case m.SpatX:
+			return c.PEX
+		case m.SpatY:
+			return c.PEY
+		}
+		return 1
+	}
+	// tileTrips is the number of per-PE tiles along d; temporalTrips folds
+	// the spatial extent in (tiles executed concurrently across the array).
+	tileTrips := map[mapping.Dim]float64{}
+	temporalTrips := map[mapping.Dim]float64{}
+	for _, d := range mapping.AllDims {
+		tt := math.Ceil(float64(bounds[d]) / float64(m.Tile(d)))
+		tileTrips[d] = tt
+		temporalTrips[d] = math.Ceil(tt / float64(extent(d)))
+	}
+
+	// Kernel-window trips: R and S nest innermost (below the Orders
+	// permutation) and have no spatial extent.
+	tripsR := math.Ceil(float64(l.R) / float64(m.TR))
+	tripsS := math.Ceil(float64(l.S) / float64(m.TS))
+
+	// Compute time: every temporal step runs one tile on each active PE.
+	macsPerTile := float64(m.Tile(mapping.DimK)) * float64(m.Tile(mapping.DimC)) *
+		float64(m.Tile(mapping.DimY)) * float64(m.Tile(mapping.DimX)) *
+		float64(m.TR) * float64(m.TS)
+	if depthwise {
+		macsPerTile = float64(m.Tile(mapping.DimK)) * float64(m.Tile(mapping.DimY)) *
+			float64(m.Tile(mapping.DimX)) * float64(m.TR) * float64(m.TS)
+	}
+	steps := float64(l.N) * tripsR * tripsS
+	for _, d := range mapping.AllDims {
+		steps *= temporalTrips[d]
+	}
+	computeCycles := steps * macsPerTile
+
+	// L2 macro-tile residency: the working set concurrently held for the
+	// PE array (per-PE tile × spatial extent per dimension).
+	span := func(d mapping.Dim) float64 {
+		s := float64(m.Tile(d) * extent(d))
+		if s > float64(bounds[d]) {
+			s = float64(bounds[d])
+		}
+		return s
+	}
+	inHaloY := (span(mapping.DimY)-1)*float64(l.Stride) + float64(m.TR)
+	inHaloX := (span(mapping.DimX)-1)*float64(l.Stride) + float64(m.TS)
+	inChan := span(mapping.DimC)
+	if depthwise {
+		inChan = span(mapping.DimK)
+	}
+	macroIn := inChan * inHaloY * inHaloX
+	macroW := span(mapping.DimK) * span(mapping.DimC) * float64(m.TR) * float64(m.TS)
+	macroOut := 2 * span(mapping.DimK) * span(mapping.DimY) * span(mapping.DimX)
+	l2Need := 2 * (macroIn + macroW + macroOut)
+	l2Cap := float64(c.L2KB) * 1024
+	if l2Need > l2Cap {
+		return Report{}, fmt.Errorf("%w: L2 working set %d B > %d B", ErrInfeasible,
+			int(l2Need), int(l2Cap))
+	}
+
+	// Operand footprints (full layer).
+	footprint := map[operand]float64{
+		opInput:  float64(l.InputBytes()),
+		opWeight: float64(l.WeightBytes()),
+		opOutput: float64(l.OutputBytes()),
+	}
+
+	// L2 -> L1 (NoC) traffic. An operand's tile is fetched once per trip of
+	// every loop, except loops it does not depend on once the dataflow pins
+	// it: weight-stationary pins weights, output-stationary pins outputs.
+	nocBytes := 0.0
+	for p, tile := range map[operand]float64{opInput: inTile, opWeight: wTile, opOutput: outTile} {
+		trips := float64(l.N)
+		for _, d := range mapping.AllDims {
+			dep := depends(p, d, depthwise)
+			pinned := (c.Dataflow == hw.WeightStationary && p == opWeight) ||
+				(c.Dataflow == hw.OutputStationary && p == opOutput)
+			if dep || !pinned {
+				trips *= temporalTrips[d]
+			}
+		}
+		// Kernel-window trips: inputs and weights depend on R/S; outputs
+		// re-circulate partial sums across the window unless pinned.
+		if p != opOutput || c.Dataflow != hw.OutputStationary {
+			trips *= tripsR * tripsS
+		}
+		// The spatial copies along dimensions the operand depends on are
+		// distinct data; along independent dimensions the NoC multicasts,
+		// so only one copy crosses the L2 port.
+		spatialCopies := 1.0
+		for _, d := range []mapping.Dim{m.SpatX, m.SpatY} {
+			if depends(p, d, depthwise) {
+				spatialCopies *= float64(extent(d))
+			}
+		}
+		factor := 1.0
+		if p == opOutput {
+			factor = 2 // partial sums written back and re-read
+			if c.Dataflow == hw.OutputStationary {
+				factor = 1 // accumulated in place, written once
+			}
+		}
+		nocBytes += trips * tile * spatialCopies * factor
+	}
+
+	// DRAM -> L2 traffic. An operand that fits in L2 alongside the others
+	// streams once; otherwise it is refetched once per macro trip of each
+	// loop it does not depend on that is ordered outside its own loops.
+	order := mapping.Orders[m.Order]
+	macroTrips := func(d mapping.Dim) float64 {
+		span := float64(m.Tile(d) * extent(d))
+		return math.Ceil(float64(bounds[d]) / span)
+	}
+	dramBytes := 0.0
+	for p, fp := range footprint {
+		resident := fp
+		if p == opOutput {
+			resident *= 2
+		}
+		reload := 1.0
+		if resident > l2Cap/3 {
+			// Find the outermost loop the operand depends on; loops ordered
+			// outside it that the operand does not depend on force reloads.
+			outermostDep := len(order)
+			for i, d := range order {
+				if depends(p, d, depthwise) {
+					outermostDep = i
+					break
+				}
+			}
+			for i, d := range order {
+				if i < outermostDep && !depends(p, d, depthwise) {
+					reload *= macroTrips(d)
+				}
+			}
+		}
+		factor := 1.0
+		if p == opOutput {
+			factor = 1
+			if reload > 1 {
+				factor = 2 // read-modify-write of spilled partial sums
+			}
+		}
+		dramBytes += fp * reload * factor
+	}
+
+	// Latency: perfect double buffering overlaps the three streams.
+	nocCycles := nocBytes / float64(c.NoCBW)
+	dramCycles := dramBytes / dramBWBytesPerCycle
+	cycles := math.Max(computeCycles, math.Max(nocCycles, dramCycles))
+	// Pipeline fill/drain: one tile of latency per temporal step wave.
+	cycles += 64 + math.Sqrt(steps)
+	latencyMs := cycles / (ClockGHz * 1e6)
+
+	// Energy.
+	usefulMACs := float64(l.MACs())
+	l1Bytes := usefulMACs * 3 * l1RegReuse
+	macPJ := usefulMACs * macEnergyPJ
+	l1PJ := l1Bytes * l1EnergyPJ
+	nocPJ := nocBytes * l2EnergyPJ
+	dramPJ := dramBytes * dramEnergyPJ
+	energyUJ := (macPJ + l1PJ + nocPJ + dramPJ) * 1e-6
+	leak := leakageMW(c)
+	powerMW := energyUJ/latencyMs + leak
+	leakPJ := leak * latencyMs * 1e6
+	energyUJ += leak * latencyMs // fold leakage into total energy
+
+	met := ppa.Metrics{
+		LatencyMs: latencyMs,
+		PowerMW:   powerMW,
+		AreaMM2:   e.Area(c),
+		EnergyUJ:  energyUJ,
+	}
+	if !met.Valid() {
+		return Report{}, fmt.Errorf("maestro: produced invalid metrics %+v for %v / %v", met, c, l)
+	}
+
+	rep := Report{
+		Metrics:       met,
+		ComputeCycles: computeCycles,
+		NoCCycles:     nocCycles,
+		DRAMCycles:    dramCycles,
+		NoCBytes:      nocBytes,
+		DRAMBytes:     dramBytes,
+		EnergyPJ: map[string]float64{
+			"mac":     macPJ,
+			"l1":      l1PJ,
+			"noc+l2":  nocPJ,
+			"dram":    dramPJ,
+			"leakage": leakPJ,
+		},
+	}
+	switch {
+	case computeCycles >= nocCycles && computeCycles >= dramCycles:
+		rep.Bottleneck = "compute"
+	case nocCycles >= dramCycles:
+		rep.Bottleneck = "noc"
+	default:
+		rep.Bottleneck = "dram"
+	}
+	if computeCycles > 0 {
+		rep.PEUtilization = usefulMACs / (float64(c.PEs()) * computeCycles)
+		if rep.PEUtilization > 1 {
+			rep.PEUtilization = 1
+		}
+	}
+	return rep, nil
+}
+
+// EvaluateWorkload sums per-layer metrics, each scaled by its repeat count,
+// for a fixed per-layer mapping assignment. The mappings slice must be
+// parallel to w.Layers.
+func (e Engine) EvaluateWorkload(c hw.Spatial, ms []mapping.Spatial, w workload.Workload) (ppa.Metrics, error) {
+	if len(ms) != len(w.Layers) {
+		return ppa.Metrics{}, fmt.Errorf("maestro: %d mappings for %d layers", len(ms), len(w.Layers))
+	}
+	var total ppa.Metrics
+	for i, l := range w.Layers {
+		met, err := e.Evaluate(c, ms[i], l)
+		if err != nil {
+			return ppa.Metrics{}, fmt.Errorf("layer %q: %w", l.Name, err)
+		}
+		total = total.Add(met.Scale(l.Repeat))
+	}
+	total.AreaMM2 = e.Area(c)
+	return total, nil
+}

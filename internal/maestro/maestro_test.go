@@ -1,0 +1,296 @@
+package maestro
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/workload"
+)
+
+func testHW() hw.Spatial {
+	return hw.Spatial{
+		PEX: 8, PEY: 8, L1Bytes: 1728, L2KB: 432,
+		NoCBW: 128, Dataflow: hw.WeightStationary,
+	}
+}
+
+func testLayer() workload.Layer {
+	return workload.Conv("l", 64, 32, 28, 28, 3, 3, 1, 1)
+}
+
+func minimalMapping(l workload.Layer) mapping.Spatial {
+	return mapping.Spatial{TK: 1, TC: 1, TY: 1, TX: 1, TR: 1, TS: 1,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+}
+
+func TestEvaluateProducesValidMetrics(t *testing.T) {
+	var e Engine
+	met, err := e.Evaluate(testHW(), minimalMapping(testLayer()), testLayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met.Valid() {
+		t.Fatalf("invalid metrics %+v", met)
+	}
+	if met.AreaMM2 != e.Area(testHW()) {
+		t.Errorf("metrics area %v != Area() %v", met.AreaMM2, e.Area(testHW()))
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	var e Engine
+	m := minimalMapping(testLayer())
+	a, err1 := e.Evaluate(testHW(), m, testLayer())
+	b, err2 := e.Evaluate(testHW(), m, testLayer())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a != b {
+		t.Errorf("non-deterministic evaluation: %+v vs %+v", a, b)
+	}
+}
+
+func TestInfeasibleWhenL1Tiny(t *testing.T) {
+	var e Engine
+	c := testHW()
+	c.L1Bytes = 8
+	l := testLayer()
+	m := mapping.Spatial{TK: 8, TC: 8, TY: 4, TX: 4, TR: 3, TS: 3,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	_, err := e.Evaluate(c, m, l)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleWhenL2Tiny(t *testing.T) {
+	var e Engine
+	c := testHW()
+	c.L2KB = 1
+	l := testLayer()
+	// Big per-PE tile: the macro working set cannot fit 1 KB of L2.
+	m := mapping.Spatial{TK: 8, TC: 8, TY: 4, TX: 4, TR: 3, TS: 3,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	_, err := e.Evaluate(c, m, l)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMoreComputeMoreLatencyAndEnergy(t *testing.T) {
+	var e Engine
+	small := testLayer()
+	big := small
+	big.K *= 4
+	m := minimalMapping(small)
+	ms, err1 := e.Evaluate(testHW(), m, small)
+	mb, err2 := e.Evaluate(testHW(), m, big)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if mb.LatencyMs <= ms.LatencyMs {
+		t.Errorf("4x-K layer latency %v <= %v", mb.LatencyMs, ms.LatencyMs)
+	}
+	if mb.EnergyUJ <= ms.EnergyUJ {
+		t.Errorf("4x-K layer energy %v <= %v", mb.EnergyUJ, ms.EnergyUJ)
+	}
+}
+
+func TestBiggerArrayFasterWithSpatialTiles(t *testing.T) {
+	var e Engine
+	l := testLayer()
+	m := mapping.Spatial{TK: 4, TC: 4, TY: 2, TX: 2, TR: 3, TS: 3,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	smallHW := testHW()
+	smallHW.PEX, smallHW.PEY = 2, 2
+	bigHW := testHW()
+	bigHW.PEX, bigHW.PEY = 16, 14
+	a, err1 := e.Evaluate(smallHW, m, l)
+	b, err2 := e.Evaluate(bigHW, m, l)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.LatencyMs >= a.LatencyMs {
+		t.Errorf("bigger array latency %v >= smaller %v", b.LatencyMs, a.LatencyMs)
+	}
+}
+
+func TestAreaMonotone(t *testing.T) {
+	var e Engine
+	base := testHW()
+	bigger := base
+	bigger.PEX *= 2
+	if e.Area(bigger) <= e.Area(base) {
+		t.Errorf("area with 2x PEs %v <= %v", e.Area(bigger), e.Area(base))
+	}
+	moreSRAM := base
+	moreSRAM.L2KB *= 4
+	if e.Area(moreSRAM) <= e.Area(base) {
+		t.Errorf("area with 4x L2 %v <= %v", e.Area(moreSRAM), e.Area(base))
+	}
+}
+
+func TestDepthwiseCheaperThanDense(t *testing.T) {
+	var e Engine
+	dense := workload.Conv("d", 64, 64, 28, 28, 3, 3, 1, 1)
+	dw := workload.DWConv("w", 64, 28, 28, 3, 3, 1, 1)
+	m := minimalMapping(dense)
+	a, err1 := e.Evaluate(testHW(), m, dense)
+	b, err2 := e.Evaluate(testHW(), minimalMapping(dw), dw)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.EnergyUJ >= a.EnergyUJ {
+		t.Errorf("depthwise energy %v >= dense %v", b.EnergyUJ, a.EnergyUJ)
+	}
+}
+
+func TestEvaluateWorkloadSums(t *testing.T) {
+	var e Engine
+	w := workload.Workload{Name: "w", Layers: []workload.Layer{
+		workload.Conv("a", 8, 8, 14, 14, 3, 3, 1, 2),
+		workload.Conv("b", 16, 8, 14, 14, 1, 1, 1, 1),
+	}}
+	ms := []mapping.Spatial{minimalMapping(w.Layers[0]), minimalMapping(w.Layers[1])}
+	total, err := e.EvaluateWorkload(testHW(), ms, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Evaluate(testHW(), ms[0], w.Layers[0])
+	b, _ := e.Evaluate(testHW(), ms[1], w.Layers[1])
+	want := a.LatencyMs*2 + b.LatencyMs
+	if diff := total.LatencyMs - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("workload latency %v, want %v", total.LatencyMs, want)
+	}
+	if _, err := e.EvaluateWorkload(testHW(), ms[:1], w); err == nil {
+		t.Error("accepted mismatched mapping count")
+	}
+}
+
+func TestEvalCostSeconds(t *testing.T) {
+	if (Engine{}).EvalCostSeconds() <= 0 {
+		t.Error("default eval cost not positive")
+	}
+	if (Engine{EvalSeconds: 3}).EvalCostSeconds() != 3 {
+		t.Error("override ignored")
+	}
+}
+
+// TestRandomMappingsNeverPanicProperty drives the engine with arbitrary
+// random mappings: every call must either return valid metrics or a clean
+// infeasibility error.
+func TestRandomMappingsNeverPanicProperty(t *testing.T) {
+	var e Engine
+	layers := []workload.Layer{
+		testLayer(),
+		workload.DWConv("dw", 32, 14, 14, 3, 3, 2, 1),
+		workload.Gemm("g", 64, 128, 256, 1),
+		workload.Conv("patch", 768, 3, 14, 14, 16, 16, 16, 1),
+	}
+	f := func(seed int64, li uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layers[int(li)%len(layers)]
+		m := mapping.RandomSpatial(rng, l)
+		met, err := e.Evaluate(testHW(), m, l)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		return met.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightStationaryReducesWeightTraffic checks the dataflow lever: for a
+// weight-heavy layer, WS should cost no more energy than OS under the same
+// mapping (weights pinned in L1).
+func TestDataflowChangesCost(t *testing.T) {
+	var e Engine
+	l := workload.Conv("wh", 256, 256, 7, 7, 3, 3, 1, 1)
+	m := minimalMapping(l)
+	ws := testHW()
+	ws.Dataflow = hw.WeightStationary
+	os := testHW()
+	os.Dataflow = hw.OutputStationary
+	a, err1 := e.Evaluate(ws, m, l)
+	b, err2 := e.Evaluate(os, m, l)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a == b {
+		t.Error("dataflow choice had no effect on the cost model")
+	}
+}
+
+func TestExplainBreakdown(t *testing.T) {
+	var e Engine
+	l := testLayer()
+	m := minimalMapping(l)
+	rep, err := e.Explain(testHW(), m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The metrics must match Evaluate exactly.
+	met, _ := e.Evaluate(testHW(), m, l)
+	if rep.Metrics != met {
+		t.Errorf("Explain metrics %+v != Evaluate %+v", rep.Metrics, met)
+	}
+	// Latency equals the max resource stream (plus the pipeline-fill term),
+	// so the bottleneck's cycles cannot exceed latency-in-cycles.
+	latCycles := rep.Metrics.LatencyMs * ClockGHz * 1e6
+	for name, cyc := range map[string]float64{
+		"compute": rep.ComputeCycles, "noc": rep.NoCCycles, "dram": rep.DRAMCycles,
+	} {
+		if cyc > latCycles {
+			t.Errorf("%s cycles %v exceed latency %v", name, cyc, latCycles)
+		}
+	}
+	if rep.Bottleneck != "compute" && rep.Bottleneck != "noc" && rep.Bottleneck != "dram" {
+		t.Errorf("bottleneck = %q", rep.Bottleneck)
+	}
+	if rep.PEUtilization <= 0 || rep.PEUtilization > 1 {
+		t.Errorf("utilization = %v", rep.PEUtilization)
+	}
+	// The energy breakdown must sum to the reported total.
+	sum := 0.0
+	for _, v := range rep.EnergyPJ {
+		sum += v
+	}
+	if diff := sum*1e-6 - rep.Metrics.EnergyUJ; diff > 1e-6*rep.Metrics.EnergyUJ || diff < -1e-6*rep.Metrics.EnergyUJ {
+		t.Errorf("energy breakdown sums to %v µJ, total %v µJ", sum*1e-6, rep.Metrics.EnergyUJ)
+	}
+	if rep.NoCBytes <= 0 || rep.DRAMBytes <= 0 {
+		t.Errorf("traffic volumes: noc=%v dram=%v", rep.NoCBytes, rep.DRAMBytes)
+	}
+}
+
+func TestExplainBottleneckShifts(t *testing.T) {
+	var e Engine
+	// A 1x1-kernel layer with huge channel counts on a tiny-bandwidth
+	// machine should be memory-bound; the same layer on a huge-bandwidth
+	// machine with a tiny array should be compute-bound.
+	l := workload.Conv("ch", 512, 512, 14, 14, 1, 1, 1, 1)
+	m := minimalMapping(l)
+	slowNoC := testHW()
+	slowNoC.PEX, slowNoC.PEY = 24, 24
+	slowNoC.NoCBW = 64
+	fast := testHW()
+	fast.PEX, fast.PEY = 1, 1
+	fast.NoCBW = 128
+	a, err1 := e.Explain(slowNoC, m, l)
+	b, err2 := e.Explain(fast, m, l)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b.Bottleneck != "compute" {
+		t.Errorf("1-PE machine bottleneck = %s, want compute", b.Bottleneck)
+	}
+	if a.Bottleneck == "compute" && a.ComputeCycles < a.NoCCycles {
+		t.Errorf("inconsistent bottleneck classification: %+v", a)
+	}
+}

@@ -1,0 +1,294 @@
+// Package mapping defines software-mapping (schedule) representations for
+// both accelerator platforms, together with the sampling, mutation and
+// crossover moves the mapping-search tools (internal/mapsearch) operate on.
+//
+// A mapping fixes how the 7D operator loop nest (paper Fig. 1) is split
+// across the memory hierarchy and the PE array: which loops are tiled with
+// what factors, which dimensions are mapped spatially, and in what temporal
+// order the tiles are visited. The cost models judge legality (does a tile
+// fit its buffer?) and quality; this package only describes schedules and
+// their neighbourhoods.
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unico/internal/workload"
+)
+
+// Dim identifies one tileable loop of the convolution nest.
+type Dim int
+
+const (
+	DimK Dim = iota // output channels
+	DimC            // input channels
+	DimY            // output rows
+	DimX            // output cols
+)
+
+var dimNames = [...]string{"K", "C", "Y", "X"}
+
+func (d Dim) String() string {
+	if d < 0 || int(d) >= len(dimNames) {
+		return fmt.Sprintf("Dim(%d)", int(d))
+	}
+	return dimNames[d]
+}
+
+// AllDims lists the tileable dimensions.
+var AllDims = []Dim{DimK, DimC, DimY, DimX}
+
+// Orders enumerates the canonical temporal loop orders (outermost dimension
+// first) a mapping may select. Restricting to rotations of (K,C,Y,X) keeps
+// the space the size FlexTensor prunes to while still changing which operand
+// enjoys outer-loop reuse.
+var Orders = [][]Dim{
+	{DimK, DimC, DimY, DimX},
+	{DimC, DimK, DimY, DimX},
+	{DimY, DimX, DimK, DimC},
+	{DimK, DimY, DimX, DimC},
+	{DimC, DimY, DimX, DimK},
+	{DimY, DimK, DimC, DimX},
+}
+
+// Spatial is a schedule for the open-source spatial accelerator: L1 tile
+// sizes per dimension (including the R×S kernel window, which FlexTensor's
+// split primitive also tiles), the two dimensions unrolled across the PE
+// array's x and y axes, and the temporal loop order. The kernel-window
+// loops always nest innermost, so TR/TS participate in tiling but not in
+// the Orders permutation or spatial unrolling.
+type Spatial struct {
+	TK, TC, TY, TX int // L1 tile sizes (clamped to the layer bounds)
+	TR, TS         int // kernel-window tile sizes
+	SpatX, SpatY   Dim // dimensions mapped across PEX and PEY
+	Order          int // index into Orders
+}
+
+func (m Spatial) String() string {
+	return fmt.Sprintf("tile[K=%d C=%d Y=%d X=%d R=%d S=%d] spat(%s,%s) order=%v",
+		m.TK, m.TC, m.TY, m.TX, m.TR, m.TS, m.SpatX, m.SpatY, Orders[m.Order])
+}
+
+// Tile returns the tile size of dimension d.
+func (m Spatial) Tile(d Dim) int {
+	switch d {
+	case DimK:
+		return m.TK
+	case DimC:
+		return m.TC
+	case DimY:
+		return m.TY
+	case DimX:
+		return m.TX
+	}
+	panic(fmt.Sprintf("mapping: bad dim %d", d))
+}
+
+// setTile sets the tile size of dimension d.
+func (m *Spatial) setTile(d Dim, v int) {
+	switch d {
+	case DimK:
+		m.TK = v
+	case DimC:
+		m.TC = v
+	case DimY:
+		m.TY = v
+	case DimX:
+		m.TX = v
+	default:
+		panic(fmt.Sprintf("mapping: bad dim %d", d))
+	}
+}
+
+// Canon clamps the mapping to the layer's loop bounds and repairs degenerate
+// choices (equal spatial dimensions, out-of-range order). Every generator
+// and mutation funnels through Canon so downstream code can assume a
+// well-formed schedule.
+func (m Spatial) Canon(l workload.Layer) Spatial {
+	bounds := dimBounds(l)
+	for _, d := range AllDims {
+		t := m.Tile(d)
+		if t < 1 {
+			t = 1
+		}
+		if t > bounds[d] {
+			t = bounds[d]
+		}
+		m.setTile(d, t)
+	}
+	m.TR = clampTile(m.TR, l.R)
+	m.TS = clampTile(m.TS, l.S)
+	if m.Order < 0 || m.Order >= len(Orders) {
+		m.Order = 0
+	}
+	if m.SpatX < 0 || m.SpatX > DimX {
+		m.SpatX = DimK
+	}
+	if m.SpatY < 0 || m.SpatY > DimX {
+		m.SpatY = DimY
+	}
+	if m.SpatX == m.SpatY {
+		// Pick the next dimension cyclically to keep the pair distinct.
+		m.SpatY = Dim((int(m.SpatY) + 1) % len(AllDims))
+	}
+	return m
+}
+
+// clampTile clamps a tile size to [1, bound].
+func clampTile(t, bound int) int {
+	if t < 1 {
+		return 1
+	}
+	if t > bound {
+		return bound
+	}
+	return t
+}
+
+// Valid reports whether the mapping is well-formed for the layer.
+func (m Spatial) Valid(l workload.Layer) bool {
+	bounds := dimBounds(l)
+	for _, d := range AllDims {
+		t := m.Tile(d)
+		if t < 1 || t > bounds[d] {
+			return false
+		}
+	}
+	if m.TR < 1 || m.TR > l.R || m.TS < 1 || m.TS > l.S {
+		return false
+	}
+	return m.SpatX != m.SpatY &&
+		m.Order >= 0 && m.Order < len(Orders) &&
+		m.SpatX >= 0 && m.SpatX <= DimX &&
+		m.SpatY >= 0 && m.SpatY <= DimX
+}
+
+// dimBounds returns the loop bound of each tileable dimension for the layer.
+func dimBounds(l workload.Layer) map[Dim]int {
+	return map[Dim]int{DimK: l.K, DimC: l.C, DimY: l.Y, DimX: l.X}
+}
+
+// tileLadder returns the candidate tile sizes for a loop of the given bound:
+// the {2^i, 3*2^i} ladder clipped to the bound, plus the bound itself. This
+// mirrors the split-factor candidates FlexTensor enumerates.
+func tileLadder(bound int) []int {
+	if bound < 1 {
+		return []int{1}
+	}
+	seen := map[int]bool{}
+	var vals []int
+	add := func(v int) {
+		if v >= 1 && v <= bound && !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	for p := 1; p <= bound; p *= 2 {
+		add(p)
+		add(3 * p)
+	}
+	add(bound)
+	return vals
+}
+
+// RandomSpatial draws a uniformly random well-formed schedule for the layer.
+func RandomSpatial(rng *rand.Rand, l workload.Layer) Spatial {
+	m := Spatial{
+		SpatX: AllDims[rng.Intn(len(AllDims))],
+		SpatY: AllDims[rng.Intn(len(AllDims))],
+		Order: rng.Intn(len(Orders)),
+	}
+	for _, d := range AllDims {
+		ladder := tileLadder(dimBounds(l)[d])
+		m.setTile(d, ladder[rng.Intn(len(ladder))])
+	}
+	rLadder := tileLadder(l.R)
+	sLadder := tileLadder(l.S)
+	m.TR = rLadder[rng.Intn(len(rLadder))]
+	m.TS = sLadder[rng.Intn(len(sLadder))]
+	return m.Canon(l)
+}
+
+// MutateSpatial returns a neighbouring schedule: one field changed — a tile
+// size moved along its ladder, a spatial dimension swapped, or the loop
+// order changed.
+func MutateSpatial(rng *rand.Rand, m Spatial, l workload.Layer) Spatial {
+	out := m
+	move := func(cur, bound int) int {
+		ladder := tileLadder(bound)
+		i := nearestLadderIndex(ladder, cur)
+		if rng.Intn(2) == 0 && i > 0 {
+			i--
+		} else if i < len(ladder)-1 {
+			i++
+		}
+		return ladder[i]
+	}
+	switch rng.Intn(5) {
+	case 0, 1: // move one tile size one ladder step (most productive move)
+		d := AllDims[rng.Intn(len(AllDims))]
+		out.setTile(d, move(out.Tile(d), dimBounds(l)[d]))
+	case 2: // move a kernel-window tile
+		if rng.Intn(2) == 0 {
+			out.TR = move(out.TR, l.R)
+		} else {
+			out.TS = move(out.TS, l.S)
+		}
+	case 3: // re-pick a spatial dimension
+		if rng.Intn(2) == 0 {
+			out.SpatX = AllDims[rng.Intn(len(AllDims))]
+		} else {
+			out.SpatY = AllDims[rng.Intn(len(AllDims))]
+		}
+	case 4: // change loop order
+		out.Order = rng.Intn(len(Orders))
+	}
+	return out.Canon(l)
+}
+
+// CrossoverSpatial recombines two schedules field-wise (uniform crossover),
+// the GAMMA-style genetic operator.
+func CrossoverSpatial(rng *rand.Rand, a, b Spatial, l workload.Layer) Spatial {
+	out := a
+	if rng.Intn(2) == 0 {
+		out.TK = b.TK
+	}
+	if rng.Intn(2) == 0 {
+		out.TC = b.TC
+	}
+	if rng.Intn(2) == 0 {
+		out.TY = b.TY
+	}
+	if rng.Intn(2) == 0 {
+		out.TX = b.TX
+	}
+	if rng.Intn(2) == 0 {
+		out.TR, out.TS = b.TR, b.TS
+	}
+	if rng.Intn(2) == 0 {
+		out.SpatX = b.SpatX
+	}
+	if rng.Intn(2) == 0 {
+		out.SpatY = b.SpatY
+	}
+	if rng.Intn(2) == 0 {
+		out.Order = b.Order
+	}
+	return out.Canon(l)
+}
+
+// nearestLadderIndex returns the index of the ladder value closest to v.
+func nearestLadderIndex(ladder []int, v int) int {
+	best, bestDist := 0, -1
+	for i, w := range ladder {
+		d := w - v
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

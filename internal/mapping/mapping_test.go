@@ -1,0 +1,179 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unico/internal/workload"
+)
+
+func testLayer() workload.Layer {
+	return workload.Conv("t", 64, 32, 28, 28, 3, 3, 1, 1)
+}
+
+func TestCanonClampsTiles(t *testing.T) {
+	l := testLayer()
+	m := Spatial{TK: 1000, TC: -5, TY: 28, TX: 0, TR: 9, TS: 0, Order: 99, SpatX: DimK, SpatY: DimK}.Canon(l)
+	if !m.Valid(l) {
+		t.Fatalf("Canon produced invalid mapping %+v", m)
+	}
+	if m.TK != 64 || m.TC != 1 || m.TX != 1 || m.TR != 3 || m.TS != 1 {
+		t.Errorf("clamping wrong: %+v", m)
+	}
+	if m.SpatX == m.SpatY {
+		t.Error("Canon left equal spatial dims")
+	}
+	if m.Order != 0 {
+		t.Errorf("Order = %d, want reset to 0", m.Order)
+	}
+}
+
+func TestRandomSpatialValidProperty(t *testing.T) {
+	l := testLayer()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return RandomSpatial(rng, l).Valid(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateSpatialValidProperty(t *testing.T) {
+	l := testLayer()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomSpatial(rng, l)
+		for i := 0; i < 10; i++ {
+			m = MutateSpatial(rng, m, l)
+			if !m.Valid(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossoverSpatialValidProperty(t *testing.T) {
+	l := testLayer()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomSpatial(rng, l)
+		b := RandomSpatial(rng, l)
+		return CrossoverSpatial(rng, a, b, l).Valid(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateEventuallyMoves(t *testing.T) {
+	l := testLayer()
+	rng := rand.New(rand.NewSource(7))
+	m := RandomSpatial(rng, l)
+	moved := false
+	for i := 0; i < 50; i++ {
+		if MutateSpatial(rng, m, l) != m {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("50 mutations never changed the mapping")
+	}
+}
+
+func TestTileLadder(t *testing.T) {
+	ladder := tileLadder(28)
+	if ladder[0] != 1 {
+		t.Errorf("ladder does not start at 1: %v", ladder)
+	}
+	hasBound := false
+	for _, v := range ladder {
+		if v < 1 || v > 28 {
+			t.Errorf("ladder value %d out of [1,28]", v)
+		}
+		if v == 28 {
+			hasBound = true
+		}
+	}
+	if !hasBound {
+		t.Errorf("ladder misses the bound: %v", ladder)
+	}
+	if got := tileLadder(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("tileLadder(0) = %v", got)
+	}
+}
+
+func TestOrdersArePermutations(t *testing.T) {
+	for i, ord := range Orders {
+		seen := map[Dim]bool{}
+		for _, d := range ord {
+			if seen[d] {
+				t.Errorf("order %d repeats %v", i, d)
+			}
+			seen[d] = true
+		}
+		if len(seen) != len(AllDims) {
+			t.Errorf("order %d misses dims: %v", i, ord)
+		}
+	}
+}
+
+func TestGemmDims(t *testing.T) {
+	l := workload.Conv("c", 64, 32, 28, 28, 3, 3, 1, 1)
+	m, k, n := GemmDims(l)
+	// DaVinci convention: M = output channels, K = C*R*S, N = positions.
+	if m != 64 || k != 32*9 || n != 28*28 {
+		t.Errorf("GemmDims = (%d, %d, %d)", m, k, n)
+	}
+}
+
+func TestAscendCanonAndValid(t *testing.T) {
+	l := testLayer()
+	m := Ascend{TM: 1 << 20, TK: 0, TN: -3, FuseDepth: 9}.Canon(l)
+	if !m.Valid(l) {
+		t.Fatalf("Canon produced invalid schedule %+v", m)
+	}
+	gm, gk, gn := GemmDims(l)
+	if m.TM != gm || m.TK != 1 || m.TN != 1 {
+		t.Errorf("clamping wrong: %+v (gm=%d gk=%d gn=%d)", m, gm, gk, gn)
+	}
+	if m.FuseDepth != 4 {
+		t.Errorf("FuseDepth = %d, want clamp to 4", m.FuseDepth)
+	}
+}
+
+func TestRandomAscendValidProperty(t *testing.T) {
+	l := testLayer()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomAscend(rng, l)
+		if !m.Valid(l) {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			m = MutateAscend(rng, m, l)
+			if !m.Valid(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimString(t *testing.T) {
+	if DimK.String() != "K" || DimX.String() != "X" {
+		t.Errorf("dim strings: %v %v", DimK, DimX)
+	}
+	if Dim(42).String() == "K" {
+		t.Error("out-of-range dim printed as K")
+	}
+}

@@ -1,0 +1,255 @@
+package mapsearch
+
+import (
+	"math/rand"
+	"sort"
+
+	"unico/internal/camodel"
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// ascendProblem adapts one layer on one Ascend-like core configuration to
+// the generic Problem interface (used by the annealer/genetic searchers and
+// as the evaluation oracle of the depth-first search).
+type ascendProblem struct {
+	eng   camodel.Engine
+	cfg   hw.Ascend
+	layer workload.Layer
+}
+
+func (p ascendProblem) Random(rng *rand.Rand) mapping.Ascend {
+	return mapping.RandomAscend(rng, p.layer)
+}
+
+func (p ascendProblem) Mutate(rng *rand.Rand, m mapping.Ascend) mapping.Ascend {
+	return mapping.MutateAscend(rng, m, p.layer)
+}
+
+func (p ascendProblem) Crossover(rng *rand.Rand, a, b mapping.Ascend) mapping.Ascend {
+	// Field-wise uniform crossover.
+	out := a
+	if rng.Intn(2) == 0 {
+		out.TM = b.TM
+	}
+	if rng.Intn(2) == 0 {
+		out.TK = b.TK
+	}
+	if rng.Intn(2) == 0 {
+		out.TN = b.TN
+	}
+	if rng.Intn(2) == 0 {
+		out.FuseDepth = b.FuseDepth
+	}
+	if rng.Intn(2) == 0 {
+		out.DBufA, out.DBufB, out.DBufC = b.DBufA, b.DBufB, b.DBufC
+	}
+	return out.Canon(p.layer)
+}
+
+func (p ascendProblem) Evaluate(m mapping.Ascend) (ppa.Metrics, error) {
+	return p.eng.Evaluate(p.cfg, m, p.layer)
+}
+
+// Seeds returns the warm-start schedules: the single-intrinsic tile (always
+// the smallest legal cube granule) and a capacity-guided tile grown greedily
+// into the L1 staging buffer.
+func (p ascendProblem) Seeds() []mapping.Ascend {
+	minimal := mapping.Ascend{
+		TM: p.cfg.CubeM, TK: p.cfg.CubeK, TN: p.cfg.CubeN, FuseDepth: 1,
+	}.Canon(p.layer)
+	guided := minimal
+	fits := func(m mapping.Ascend) bool {
+		need := (m.TM*m.TK + m.TK*m.TN + m.TM*m.TN) * m.FuseDepth
+		return need <= p.cfg.L1KB*1024 && m.TM*m.TN <= p.cfg.UBKB*1024
+	}
+	for progress := true; progress; {
+		progress = false
+		for _, grow := range []func(*mapping.Ascend){
+			func(m *mapping.Ascend) { m.TM *= 2 },
+			func(m *mapping.Ascend) { m.TK *= 2 },
+			func(m *mapping.Ascend) { m.TN *= 2 },
+		} {
+			next := guided
+			grow(&next)
+			next = next.Canon(p.layer)
+			if next != guided && fits(next) {
+				guided = next
+				progress = true
+			}
+		}
+	}
+	if guided == minimal {
+		return []mapping.Ascend{minimal}
+	}
+	return []mapping.Ascend{guided, minimal}
+}
+
+// DepthFirstFusion is the depth-first buffer-fusion schedule search of the
+// Ascend-like platform (paper Section 4.1, following [23, 45, 55, 63]): it
+// walks the schedule tree depth-first, trying the deepest fusion and the
+// largest tiles first — the most buffer-hungry schedules — and backing off
+// toward shallower fusion and smaller tiles as capacity checks fail. Each
+// Step evaluates exactly one schedule; once the deterministic walk is
+// exhausted the searcher refines the incumbent by random mutation.
+type DepthFirstFusion struct {
+	prob ascendProblem
+	rng  *rand.Rand
+
+	// walk is the deterministic candidate order; pos is the next node.
+	walk    []mapping.Ascend
+	pos     int
+	bestMet ppa.Metrics
+	best    mapping.Ascend
+	hasBest bool
+	lastMet ppa.Metrics
+	lastOK  bool
+	evals   int
+}
+
+// NewDepthFirstFusion builds the depth-first searcher for one layer.
+func NewDepthFirstFusion(eng camodel.Engine, cfg hw.Ascend, l workload.Layer, rng *rand.Rand) *DepthFirstFusion {
+	gm, gk, gn := mapping.GemmDims(l)
+	d := &DepthFirstFusion{
+		prob: ascendProblem{eng: eng, cfg: cfg, layer: l},
+		rng:  rng,
+	}
+	// The warm-start seeds head the walk so feasibility is established on
+	// the first steps, then the deterministic backoff sweep takes over.
+	d.walk = append(d.prob.Seeds(),
+		buildWalk(l, []int{4, 3, 2, 1}, descLadder(gm), descLadder(gk), descLadder(gn))...)
+	return d
+}
+
+// buildWalk enumerates the schedule tree in backoff order: index tuples over
+// (fusion depth, TM, TK, TN, double-buffer combo) — each axis largest /
+// most aggressive first — sorted by total backoff so the walk retreats from
+// the most buffer-hungry corner one resource at a time, the practical
+// traversal order of depth-first fusion searchers.
+func buildWalk(l workload.Layer, fuses, tms, tks, tns []int) []mapping.Ascend {
+	dbufs := [][3]bool{
+		{true, true, true},
+		{true, true, false},
+		{true, false, false},
+		{false, false, false},
+	}
+	type node struct {
+		m    mapping.Ascend
+		cost int
+	}
+	var nodes []node
+	for fi, f := range fuses {
+		for mi, tm := range tms {
+			for ki, tk := range tks {
+				for ni, tn := range tns {
+					for di, db := range dbufs {
+						m := mapping.Ascend{
+							TM: tm, TK: tk, TN: tn, FuseDepth: f,
+							DBufA: db[0], DBufB: db[1], DBufC: db[2],
+						}.Canon(l)
+						nodes = append(nodes, node{m: m, cost: fi + mi + ki + ni + di})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(nodes, func(a, b int) bool { return nodes[a].cost < nodes[b].cost })
+	// No realistic budget visits more than the first couple thousand nodes;
+	// truncating bounds per-layer memory.
+	if len(nodes) > 2048 {
+		nodes = nodes[:2048]
+	}
+	walk := make([]mapping.Ascend, len(nodes))
+	for i, n := range nodes {
+		walk[i] = n.m
+	}
+	return walk
+}
+
+// descLadder returns the candidate tile sizes for a bound, largest first,
+// thinned to at most eight rungs spread geometrically across the whole
+// range (the walk must be able to back off all the way to tiny tiles for
+// huge layers).
+func descLadder(bound int) []int {
+	var vals []int
+	for p := 1; p <= bound; p *= 2 {
+		vals = append(vals, p)
+	}
+	if vals[len(vals)-1] != bound {
+		vals = append(vals, bound)
+	}
+	// Largest first.
+	for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	const maxRungs = 8
+	if len(vals) <= maxRungs {
+		return vals
+	}
+	// Even subsample keeping both endpoints.
+	out := make([]int, 0, maxRungs)
+	for i := 0; i < maxRungs; i++ {
+		out = append(out, vals[i*(len(vals)-1)/(maxRungs-1)])
+	}
+	return out
+}
+
+// Step spends one evaluation.
+func (d *DepthFirstFusion) Step() {
+	d.evals++
+	var cand mapping.Ascend
+	if d.pos < len(d.walk) {
+		cand = d.walk[d.pos]
+		d.pos++
+	} else if d.hasBest {
+		cand = mapping.MutateAscend(d.rng, d.best, d.prob.layer)
+	} else {
+		cand = mapping.RandomAscend(d.rng, d.prob.layer)
+	}
+	met, err := d.prob.Evaluate(cand)
+	if err != nil {
+		d.lastOK = false
+		return
+	}
+	d.lastMet, d.lastOK = met, true
+	if !d.hasBest || Loss(met) < Loss(d.bestMet) {
+		d.best, d.bestMet, d.hasBest = cand, met, true
+	}
+}
+
+// Best returns the best feasible metrics found so far.
+func (d *DepthFirstFusion) Best() (ppa.Metrics, bool) { return d.bestMet, d.hasBest }
+
+// Last returns the most recent evaluation's metrics.
+func (d *DepthFirstFusion) Last() (ppa.Metrics, bool) { return d.lastMet, d.lastOK }
+
+// BestCandidate returns the best schedule found so far.
+func (d *DepthFirstFusion) BestCandidate() (mapping.Ascend, bool) { return d.best, d.hasBest }
+
+// Evals returns the number of evaluations spent.
+func (d *DepthFirstFusion) Evals() int { return d.evals }
+
+// NewAscendSearcher builds the network-level schedule search for one
+// Ascend-like core configuration.
+func NewAscendSearcher(eng camodel.Engine, cfg hw.Ascend, w workload.Workload, algo Algo, seed int64) *NetworkSearcher {
+	layers := make([]LayerSearcher, len(w.Layers))
+	repeats := make([]int, len(w.Layers))
+	weights := make([]float64, len(w.Layers))
+	for i, l := range w.Layers {
+		rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+		prob := ascendProblem{eng: eng, cfg: cfg, layer: l}
+		switch algo {
+		case FlexTensorLike:
+			layers[i] = NewAnnealer[mapping.Ascend](prob, rng)
+		case GammaLike:
+			layers[i] = NewGenetic[mapping.Ascend](prob, 16, rng)
+		default:
+			layers[i] = NewDepthFirstFusion(eng, cfg, l, rng)
+		}
+		repeats[i] = l.Repeat
+		weights[i] = float64(l.MACs() * int64(l.Repeat))
+	}
+	return NewNetworkSearcher(layers, repeats, weights, eng.Area(cfg))
+}

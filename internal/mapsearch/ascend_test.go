@@ -1,0 +1,151 @@
+package mapsearch
+
+import (
+	"testing"
+
+	"unico/internal/camodel"
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/workload"
+
+	"math/rand"
+)
+
+func TestDescLadder(t *testing.T) {
+	l := descLadder(100)
+	if len(l) > 8 {
+		t.Errorf("ladder too long: %v", l)
+	}
+	if l[0] != 100 {
+		t.Errorf("ladder must start at the bound: %v", l)
+	}
+	if l[len(l)-1] != 1 {
+		t.Errorf("ladder must back off all the way to 1: %v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] >= l[i-1] {
+			t.Errorf("ladder not strictly descending: %v", l)
+		}
+	}
+	// Huge bounds must still reach 1 (the regression that once starved the
+	// depth-first walk of feasible tiles).
+	huge := descLadder(614400)
+	if huge[len(huge)-1] != 1 {
+		t.Errorf("huge ladder does not reach 1: %v", huge)
+	}
+}
+
+func TestDepthFirstFusionFindsFeasible(t *testing.T) {
+	eng := camodel.Engine{}
+	cfg := hw.DefaultAscend()
+	l := workload.Conv("big", 64, 56, 480, 1280, 3, 3, 1, 1)
+	d := NewDepthFirstFusion(eng, cfg, l, rand.New(rand.NewSource(1)))
+	for i := 0; i < 10 && func() bool { _, ok := d.Best(); return !ok }(); i++ {
+		d.Step()
+	}
+	if _, ok := d.Best(); !ok {
+		t.Fatal("no feasible schedule within 10 steps despite warm-start seeds")
+	}
+	if d.Evals() == 0 {
+		t.Error("Evals() = 0")
+	}
+	if m, ok := d.BestCandidate(); !ok || !m.Valid(l) {
+		t.Errorf("BestCandidate invalid: %+v ok=%v", m, ok)
+	}
+}
+
+func TestDepthFirstWalkImproves(t *testing.T) {
+	eng := camodel.Engine{}
+	cfg := hw.DefaultAscend()
+	l := workload.Conv("c", 56, 12, 120, 320, 3, 3, 1, 1)
+	d := NewDepthFirstFusion(eng, cfg, l, rand.New(rand.NewSource(2)))
+	d.Step()
+	first, ok := d.Best()
+	if !ok {
+		t.Fatal("seed schedule infeasible")
+	}
+	for i := 0; i < 120; i++ {
+		d.Step()
+	}
+	final, _ := d.Best()
+	if Loss(final) > Loss(first) {
+		t.Errorf("walk worsened: %v -> %v", Loss(first), Loss(final))
+	}
+}
+
+func TestBuildWalkBackoffOrder(t *testing.T) {
+	l := workload.Conv("c", 32, 16, 64, 64, 3, 3, 1, 1)
+	walk := buildWalk(l, []int{4, 3, 2, 1}, []int{64, 32, 16}, []int{32, 16}, []int{128, 64})
+	if len(walk) == 0 {
+		t.Fatal("empty walk")
+	}
+	// The first node must be the most aggressive corner.
+	first := walk[0]
+	if first.FuseDepth != 4 || !first.DBufA || !first.DBufB || !first.DBufC {
+		t.Errorf("first node not the aggressive corner: %+v", first)
+	}
+	if first.TM != 32 { // clamped to gm = 32 output channels
+		t.Errorf("first TM = %d", first.TM)
+	}
+}
+
+func TestAscendSearcherAlgos(t *testing.T) {
+	eng := camodel.Engine{}
+	cfg := hw.DefaultAscend()
+	w, err := workload.ByName("FSRCNN-120x320")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algo{DepthFirst, FlexTensorLike, GammaLike} {
+		ns := NewAscendSearcher(eng, cfg, w, algo, 3)
+		ns.Advance(12)
+		met, ok := ns.Best()
+		if !ok {
+			t.Errorf("%v: no feasible schedule", algo)
+			continue
+		}
+		if !met.Valid() {
+			t.Errorf("%v: invalid metrics %+v", algo, met)
+		}
+		if !ns.History().Monotone() {
+			t.Errorf("%v: non-monotone history", algo)
+		}
+	}
+}
+
+func TestAscendSeedsFeasibleOnDefault(t *testing.T) {
+	eng := camodel.Engine{}
+	cfg := hw.DefaultAscend()
+	for _, w := range workload.All() {
+		for _, l := range w.Layers {
+			p := ascendProblem{eng: eng, cfg: cfg, layer: l}
+			seeds := p.Seeds()
+			if len(seeds) == 0 {
+				t.Fatalf("%s/%s: no seeds", w.Name, l.Name)
+			}
+			feasible := false
+			for _, s := range seeds {
+				if _, err := p.Evaluate(s); err == nil {
+					feasible = true
+					break
+				}
+			}
+			if !feasible {
+				t.Errorf("%s/%s: no feasible seed", w.Name, l.Name)
+			}
+		}
+	}
+}
+
+func TestAscendCrossoverValid(t *testing.T) {
+	l := workload.Gemm("g", 64, 512, 128, 1)
+	p := ascendProblem{eng: camodel.Engine{}, cfg: hw.DefaultAscend(), layer: l}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a := mapping.RandomAscend(rng, l)
+		b := mapping.RandomAscend(rng, l)
+		if c := p.Crossover(rng, a, b); !c.Valid(l) {
+			t.Fatalf("invalid crossover %+v", c)
+		}
+	}
+}

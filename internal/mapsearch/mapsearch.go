@@ -1,0 +1,268 @@
+// Package mapsearch implements the software-mapping exploration tools of the
+// inner co-optimization level (paper Section 2.1 and Fig. 2).
+//
+// Three searchers are provided, mirroring the tools the paper plugs in:
+//
+//   - Annealer: a temperature-scheduled mutation search with restart, the
+//     stand-in for FlexTensor's Q-learning-guided scheduler [68].
+//   - Genetic: a steady-state genetic algorithm with tournament selection,
+//     uniform crossover and mutation, the stand-in for GAMMA [32].
+//   - DepthFirstFusion (in ascend.go): the depth-first buffer-fusion search
+//     used on the Ascend-like platform (Section 4.1).
+//
+// All searchers honour the mature-tool contract of paper Section 3.1: one
+// Step costs exactly one PPA evaluation, the best-so-far loss is monotone
+// non-increasing in budget, and searches are resumable so successive halving
+// can hand out budget in installments.
+//
+// A NetworkSearcher aggregates per-layer searchers into the network-level
+// search the co-optimizer drives: each budget unit advances one layer
+// (weighted by its share of the network's MACs) and the network history
+// records the aggregate (latency, power, EDP) of the per-layer bests.
+package mapsearch
+
+import (
+	"math"
+	"math/rand"
+
+	"unico/internal/ppa"
+)
+
+// Problem defines one layer's mapping search space for the generic
+// searchers: candidate generation, neighbourhood moves and evaluation.
+type Problem[M any] interface {
+	// Random draws a uniformly random candidate.
+	Random(rng *rand.Rand) M
+	// Mutate returns a neighbour of m.
+	Mutate(rng *rand.Rand, m M) M
+	// Crossover recombines two candidates.
+	Crossover(rng *rand.Rand, a, b M) M
+	// Evaluate returns the candidate's metrics, or an error if it is
+	// infeasible on the hardware under search.
+	Evaluate(m M) (ppa.Metrics, error)
+}
+
+// Seeder is an optional Problem extension providing deterministic seed
+// candidates the searchers evaluate before any random exploration. Platforms
+// use it to start from the minimal (always-legal) schedule plus a
+// capacity-guided guess, the warm start mature mapping tools apply.
+type Seeder[M any] interface {
+	Seeds() []M
+}
+
+// seedsOf returns the problem's seeds, if any.
+func seedsOf[M any](p Problem[M]) []M {
+	if s, ok := p.(Seeder[M]); ok {
+		return s.Seeds()
+	}
+	return nil
+}
+
+// LayerSearcher is a resumable single-layer mapping search. Implementations
+// must make every Step cost exactly one Problem.Evaluate call.
+type LayerSearcher interface {
+	// Step spends one evaluation.
+	Step()
+	// Best returns the metrics of the best feasible mapping found, and
+	// whether any feasible mapping has been found yet.
+	Best() (ppa.Metrics, bool)
+	// Last returns the metrics of the most recently evaluated candidate
+	// (feasible or not): the raw sample the robustness metric observes.
+	Last() (ppa.Metrics, bool)
+	// Evals returns the number of evaluations spent.
+	Evals() int
+}
+
+// Loss is the mapping-search objective: energy-delay product, so that both
+// latency and power movements are visible to the robustness metric
+// (paper Section 3.4).
+func Loss(m ppa.Metrics) float64 { return m.EDP() }
+
+// Annealer is a simulated-annealing mapping search with periodic restarts,
+// standing in for FlexTensor. The acceptance temperature is set relative to
+// the running loss scale so the schedule is workload-independent.
+type Annealer[M any] struct {
+	prob Problem[M]
+	rng  *rand.Rand
+
+	cur      M
+	curLoss  float64
+	hasCur   bool
+	best     M
+	bestLoss float64
+	bestMet  ppa.Metrics
+	hasBest  bool
+	lastMet  ppa.Metrics
+	lastOK   bool
+	evals    int
+
+	// restartEvery forces a random restart after this many non-improving
+	// steps, escaping basins the mutation moves cannot leave.
+	restartEvery int
+	sinceImprove int
+	seeds        []M
+}
+
+// NewAnnealer builds an annealing searcher over the problem.
+func NewAnnealer[M any](prob Problem[M], rng *rand.Rand) *Annealer[M] {
+	return &Annealer[M]{
+		prob: prob, rng: rng,
+		curLoss: math.Inf(1), bestLoss: math.Inf(1),
+		restartEvery: 60,
+		seeds:        seedsOf(prob),
+	}
+}
+
+// Step spends one evaluation.
+func (a *Annealer[M]) Step() {
+	var cand M
+	switch {
+	case a.evals < len(a.seeds):
+		cand = a.seeds[a.evals]
+	case !a.hasCur || a.sinceImprove >= a.restartEvery:
+		cand = a.prob.Random(a.rng)
+		a.sinceImprove = 0
+	default:
+		cand = a.prob.Mutate(a.rng, a.cur)
+	}
+	a.evals++
+	met, err := a.prob.Evaluate(cand)
+	if err != nil {
+		a.lastOK = false
+		a.sinceImprove++
+		return
+	}
+	a.lastMet, a.lastOK = met, true
+	loss := Loss(met)
+	// Metropolis acceptance with a temperature proportional to the current
+	// loss scale, cooling with the evaluation count.
+	temp := 0.3 * a.curLoss / (1 + float64(a.evals)/40)
+	accept := !a.hasCur || loss <= a.curLoss
+	if !accept && temp > 0 && !math.IsInf(a.curLoss, 1) {
+		accept = a.rng.Float64() < math.Exp(-(loss-a.curLoss)/temp)
+	}
+	if accept {
+		a.cur, a.curLoss, a.hasCur = cand, loss, true
+	}
+	if loss < a.bestLoss {
+		a.best, a.bestLoss, a.bestMet, a.hasBest = cand, loss, met, true
+		a.sinceImprove = 0
+	} else {
+		a.sinceImprove++
+	}
+}
+
+// Best returns the best feasible metrics found so far.
+func (a *Annealer[M]) Best() (ppa.Metrics, bool) { return a.bestMet, a.hasBest }
+
+// Last returns the most recent evaluation's metrics.
+func (a *Annealer[M]) Last() (ppa.Metrics, bool) { return a.lastMet, a.lastOK }
+
+// BestCandidate returns the best mapping found so far.
+func (a *Annealer[M]) BestCandidate() (M, bool) { return a.best, a.hasBest }
+
+// Evals returns the number of evaluations spent.
+func (a *Annealer[M]) Evals() int { return a.evals }
+
+// Genetic is a steady-state genetic algorithm, standing in for GAMMA: a
+// fixed-size population evolves by tournament selection, uniform crossover
+// and mutation, replacing the worst member when the child improves on it.
+type Genetic[M any] struct {
+	prob Problem[M]
+	rng  *rand.Rand
+
+	popSize int
+	pop     []geneticMember[M]
+	bestMet ppa.Metrics
+	best    M
+	hasBest bool
+	lastMet ppa.Metrics
+	lastOK  bool
+	evals   int
+	seeds   []M
+}
+
+type geneticMember[M any] struct {
+	cand M
+	loss float64
+	met  ppa.Metrics
+}
+
+// NewGenetic builds a genetic searcher with the given population size
+// (GAMMA's default neighbourhood of ~20 works well here too).
+func NewGenetic[M any](prob Problem[M], popSize int, rng *rand.Rand) *Genetic[M] {
+	if popSize < 2 {
+		popSize = 2
+	}
+	return &Genetic[M]{prob: prob, rng: rng, popSize: popSize, seeds: seedsOf(prob)}
+}
+
+// Step spends one evaluation: seed the population first, then evolve.
+func (g *Genetic[M]) Step() {
+	g.evals++
+	var cand M
+	if len(g.pop) < g.popSize {
+		if n := len(g.pop); n < len(g.seeds) {
+			cand = g.seeds[n]
+		} else {
+			cand = g.prob.Random(g.rng)
+		}
+	} else {
+		p1 := g.tournament()
+		p2 := g.tournament()
+		cand = g.prob.Crossover(g.rng, g.pop[p1].cand, g.pop[p2].cand)
+		if g.rng.Float64() < 0.7 {
+			cand = g.prob.Mutate(g.rng, cand)
+		}
+	}
+	met, err := g.prob.Evaluate(cand)
+	loss := math.Inf(1)
+	if err == nil {
+		loss = Loss(met)
+		g.lastMet, g.lastOK = met, true
+	} else {
+		g.lastOK = false
+	}
+	member := geneticMember[M]{cand: cand, loss: loss, met: met}
+	if len(g.pop) < g.popSize {
+		g.pop = append(g.pop, member)
+	} else if wi := g.worst(); loss < g.pop[wi].loss {
+		g.pop[wi] = member
+	}
+	if err == nil && (!g.hasBest || loss < Loss(g.bestMet)) {
+		g.best, g.bestMet, g.hasBest = cand, met, true
+	}
+}
+
+// tournament returns the index of the better of two random members.
+func (g *Genetic[M]) tournament() int {
+	i := g.rng.Intn(len(g.pop))
+	j := g.rng.Intn(len(g.pop))
+	if g.pop[j].loss < g.pop[i].loss {
+		return j
+	}
+	return i
+}
+
+// worst returns the index of the highest-loss member.
+func (g *Genetic[M]) worst() int {
+	wi := 0
+	for i := range g.pop {
+		if g.pop[i].loss > g.pop[wi].loss {
+			wi = i
+		}
+	}
+	return wi
+}
+
+// Best returns the best feasible metrics found so far.
+func (g *Genetic[M]) Best() (ppa.Metrics, bool) { return g.bestMet, g.hasBest }
+
+// Last returns the most recent evaluation's metrics.
+func (g *Genetic[M]) Last() (ppa.Metrics, bool) { return g.lastMet, g.lastOK }
+
+// BestCandidate returns the best mapping found so far.
+func (g *Genetic[M]) BestCandidate() (M, bool) { return g.best, g.hasBest }
+
+// Evals returns the number of evaluations spent.
+func (g *Genetic[M]) Evals() int { return g.evals }

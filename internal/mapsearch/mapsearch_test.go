@@ -1,0 +1,285 @@
+package mapsearch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// quadProblem is a synthetic 1D problem with known optimum: candidates are
+// ints, loss (v-17)^2 + 1 (metrics latency/power derived from it).
+type quadProblem struct {
+	infeasibleBelow int // candidates below this value are infeasible
+}
+
+func (quadProblem) Random(rng *rand.Rand) int { return rng.Intn(64) }
+func (quadProblem) Mutate(rng *rand.Rand, v int) int {
+	step := rng.Intn(5) - 2
+	out := v + step
+	if out < 0 {
+		out = 0
+	}
+	if out > 63 {
+		out = 63
+	}
+	return out
+}
+func (quadProblem) Crossover(rng *rand.Rand, a, b int) int { return (a + b) / 2 }
+func (p quadProblem) Evaluate(v int) (ppa.Metrics, error) {
+	if v < p.infeasibleBelow {
+		return ppa.Metrics{}, errors.New("infeasible")
+	}
+	d := float64(v - 17)
+	loss := d*d + 1
+	lat := math.Sqrt(loss)
+	return ppa.Metrics{LatencyMs: lat, PowerMW: lat, AreaMM2: 1, EnergyUJ: lat * lat}, nil
+}
+
+func TestAnnealerConvergesOnQuadratic(t *testing.T) {
+	p := quadProblem{}
+	a := NewAnnealer[int](p, rand.New(rand.NewSource(1)))
+	for i := 0; i < 400; i++ {
+		a.Step()
+	}
+	met, ok := a.Best()
+	if !ok {
+		t.Fatal("no feasible candidate found")
+	}
+	if Loss(met) > 30 { // optimum loss = 1*1*1 = 1 EDP-ish
+		t.Errorf("annealer final loss %v too high", Loss(met))
+	}
+	if a.Evals() != 400 {
+		t.Errorf("Evals() = %d, want 400", a.Evals())
+	}
+	if best, ok := a.BestCandidate(); !ok || best < 10 || best > 24 {
+		t.Errorf("BestCandidate() = %d, want near 17", best)
+	}
+}
+
+func TestGeneticConvergesOnQuadratic(t *testing.T) {
+	p := quadProblem{}
+	g := NewGenetic[int](p, 12, rand.New(rand.NewSource(2)))
+	for i := 0; i < 400; i++ {
+		g.Step()
+	}
+	met, ok := g.Best()
+	if !ok {
+		t.Fatal("no feasible candidate found")
+	}
+	if Loss(met) > 30 {
+		t.Errorf("genetic final loss %v too high", Loss(met))
+	}
+}
+
+func TestSearchersToleratePartialInfeasibility(t *testing.T) {
+	p := quadProblem{infeasibleBelow: 30} // optimum at boundary v = 30
+	a := NewAnnealer[int](p, rand.New(rand.NewSource(3)))
+	g := NewGenetic[int](p, 8, rand.New(rand.NewSource(4)))
+	for i := 0; i < 300; i++ {
+		a.Step()
+		g.Step()
+	}
+	if _, ok := a.Best(); !ok {
+		t.Error("annealer found nothing with 50% infeasible space")
+	}
+	if _, ok := g.Best(); !ok {
+		t.Error("genetic found nothing with 50% infeasible space")
+	}
+}
+
+// seededProblem records whether seeds were evaluated first.
+type seededProblem struct {
+	quadProblem
+	log *[]int
+}
+
+func (p seededProblem) Seeds() []int { return []int{40, 41} }
+func (p seededProblem) Evaluate(v int) (ppa.Metrics, error) {
+	*p.log = append(*p.log, v)
+	return p.quadProblem.Evaluate(v)
+}
+
+func TestSeedsEvaluatedFirst(t *testing.T) {
+	var log []int
+	p := seededProblem{log: &log}
+	a := NewAnnealer[int](Problem[int](p), rand.New(rand.NewSource(5)))
+	a.Step()
+	a.Step()
+	a.Step()
+	if len(log) < 2 || log[0] != 40 || log[1] != 41 {
+		t.Errorf("seed order = %v, want [40 41 ...]", log)
+	}
+
+	log = nil
+	g := NewGenetic[int](Problem[int](p), 6, rand.New(rand.NewSource(6)))
+	g.Step()
+	g.Step()
+	if len(log) < 2 || log[0] != 40 || log[1] != 41 {
+		t.Errorf("genetic seed order = %v, want [40 41 ...]", log)
+	}
+}
+
+func TestFeasibleSuffix(t *testing.T) {
+	h := ppa.History{
+		{Budget: 1, Loss: PenaltyLoss},
+		{Budget: 2, Loss: PenaltyLoss},
+		{Budget: 3, Loss: 5},
+		{Budget: 4, Loss: 3},
+	}
+	fh := Feasible(h)
+	if len(fh) != 2 || fh[0].Loss != 5 {
+		t.Errorf("Feasible = %+v", fh)
+	}
+	if Feasible(ppa.History{{Budget: 1, Loss: PenaltyLoss}}) != nil {
+		t.Error("all-penalty history should yield nil")
+	}
+}
+
+// fakeLayer is a trivial always-feasible layer searcher for NetworkSearcher
+// unit tests.
+type fakeLayer struct {
+	evals int
+	loss  float64
+}
+
+func (f *fakeLayer) Step() {
+	f.evals++
+	if f.loss > 1 {
+		f.loss *= 0.9
+	}
+}
+func (f *fakeLayer) Best() (ppa.Metrics, bool) {
+	if f.evals == 0 {
+		return ppa.Metrics{}, false
+	}
+	return ppa.Metrics{LatencyMs: f.loss, PowerMW: 1, AreaMM2: 1, EnergyUJ: f.loss}, true
+}
+func (f *fakeLayer) Last() (ppa.Metrics, bool) { return f.Best() }
+func (f *fakeLayer) Evals() int                { return f.evals }
+
+func TestNetworkSearcherBudgetSemantics(t *testing.T) {
+	layers := []LayerSearcher{&fakeLayer{loss: 100}, &fakeLayer{loss: 50}, &fakeLayer{loss: 10}}
+	ns := NewNetworkSearcher(layers, []int{1, 2, 1}, []float64{100, 10, 1}, 3.5)
+	ns.Advance(10)
+	if ns.Spent() != 10 {
+		t.Errorf("Spent() = %d", ns.Spent())
+	}
+	// One budget unit = len(layers) layer steps.
+	if got := ns.PPAEvals(); got != 30 {
+		t.Errorf("PPAEvals() = %d, want 30", got)
+	}
+	// The first (bootstrap) unit must touch every layer once.
+	for i, l := range layers {
+		if l.(*fakeLayer).evals == 0 {
+			t.Errorf("layer %d never stepped", i)
+		}
+	}
+	met, ok := ns.Best()
+	if !ok {
+		t.Fatal("aggregate infeasible")
+	}
+	if met.AreaMM2 != 3.5 {
+		t.Errorf("area = %v, want platform area 3.5", met.AreaMM2)
+	}
+	if len(ns.History()) != 10 {
+		t.Errorf("history length %d, want 10", len(ns.History()))
+	}
+	if !ns.History().Monotone() {
+		t.Error("history not monotone")
+	}
+}
+
+func TestNetworkSearcherWeightsBiasBudget(t *testing.T) {
+	heavy := &fakeLayer{loss: 100}
+	light := &fakeLayer{loss: 100}
+	ns := NewNetworkSearcher(
+		[]LayerSearcher{heavy, light}, []int{1, 1}, []float64{100, 1}, 1)
+	ns.Advance(50)
+	if heavy.evals <= light.evals {
+		t.Errorf("heavy layer got %d evals <= light %d", heavy.evals, light.evals)
+	}
+	if light.evals == 0 {
+		t.Error("light layer starved")
+	}
+}
+
+func TestNetworkSearcherPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched slices accepted")
+		}
+	}()
+	NewNetworkSearcher([]LayerSearcher{&fakeLayer{}}, []int{1, 2}, []float64{1}, 1)
+}
+
+func TestSpatialSearcherEndToEnd(t *testing.T) {
+	eng := maestro.Engine{}
+	cfg := hw.Spatial{PEX: 6, PEY: 6, L1Bytes: 1728, L2KB: 432, NoCBW: 128, Dataflow: hw.OutputStationary}
+	w := workload.MobileNet()
+	for _, algo := range []Algo{FlexTensorLike, GammaLike} {
+		ns := NewSpatialSearcher(eng, cfg, w, algo, 11)
+		ns.Advance(20)
+		met, ok := ns.Best()
+		if !ok {
+			t.Fatalf("%v: no feasible network mapping", algo)
+		}
+		if !met.Valid() {
+			t.Fatalf("%v: invalid metrics %+v", algo, met)
+		}
+		if !ns.History().Monotone() {
+			t.Errorf("%v: non-monotone history", algo)
+		}
+		// Resumability: advancing more must not worsen the best.
+		before := ns.History().Last().Loss
+		ns.Advance(20)
+		if after := ns.History().Last().Loss; after > before {
+			t.Errorf("%v: loss rose from %v to %v after more budget", algo, before, after)
+		}
+	}
+}
+
+func TestSpatialSearcherDeterministic(t *testing.T) {
+	eng := maestro.Engine{}
+	cfg := hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64, Dataflow: hw.WeightStationary}
+	w := workload.ViT()
+	run := func() float64 {
+		ns := NewSpatialSearcher(eng, cfg, w, FlexTensorLike, 42)
+		ns.Advance(15)
+		return ns.History().Last().Loss
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+// TestHistoryMonotoneProperty drives random spatial configs and checks the
+// monotone contract of paper Section 3.1 on real searches.
+func TestHistoryMonotoneProperty(t *testing.T) {
+	eng := maestro.Engine{}
+	space := hw.NewSpatialSpace(hw.Edge)
+	w := workload.MobileNetV3Small()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := space.Decode(space.Sample(rng))
+		ns := NewSpatialSearcher(eng, cfg, w, FlexTensorLike, seed)
+		ns.Advance(8)
+		return ns.History().Monotone()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if FlexTensorLike.String() != "flextensor" || GammaLike.String() != "gamma" ||
+		DepthFirst.String() != "depthfirst" {
+		t.Error("algo strings wrong")
+	}
+}

@@ -1,0 +1,135 @@
+package mapsearch
+
+import (
+	"math/rand"
+
+	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/mapping"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// Algo selects the mapping-search tool, mirroring the pluggable "SW Mapping
+// Explorer" component of paper Fig. 6a.
+type Algo int
+
+const (
+	// FlexTensorLike is the annealing searcher (FlexTensor stand-in).
+	FlexTensorLike Algo = iota
+	// GammaLike is the genetic searcher (GAMMA stand-in).
+	GammaLike
+	// DepthFirst is the depth-first buffer-fusion search used on the
+	// Ascend-like platform.
+	DepthFirst
+)
+
+func (a Algo) String() string {
+	switch a {
+	case FlexTensorLike:
+		return "flextensor"
+	case GammaLike:
+		return "gamma"
+	case DepthFirst:
+		return "depthfirst"
+	default:
+		return "unknown"
+	}
+}
+
+// spatialProblem adapts one layer on one spatial-accelerator configuration
+// to the generic Problem interface.
+type spatialProblem struct {
+	eng   maestro.Engine
+	cfg   hw.Spatial
+	layer workload.Layer
+}
+
+func (p spatialProblem) Random(rng *rand.Rand) mapping.Spatial {
+	return mapping.RandomSpatial(rng, p.layer)
+}
+
+func (p spatialProblem) Mutate(rng *rand.Rand, m mapping.Spatial) mapping.Spatial {
+	return mapping.MutateSpatial(rng, m, p.layer)
+}
+
+func (p spatialProblem) Crossover(rng *rand.Rand, a, b mapping.Spatial) mapping.Spatial {
+	return mapping.CrossoverSpatial(rng, a, b, p.layer)
+}
+
+func (p spatialProblem) Evaluate(m mapping.Spatial) (ppa.Metrics, error) {
+	return p.eng.Evaluate(p.cfg, m, p.layer)
+}
+
+// Seeds returns the warm-start schedules: the minimal (always smallest) tile
+// and a capacity-guided tile grown greedily to fill the L1 scratchpad.
+func (p spatialProblem) Seeds() []mapping.Spatial {
+	minimal := mapping.Spatial{TK: 1, TC: 1, TY: 1, TX: 1, TR: 1, TS: 1,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(p.layer)
+	guided := minimal
+	// Greedily double tile dimensions while the double-buffered footprint
+	// stays within L1 (mirrors the engine's residency check).
+	fits := func(m mapping.Spatial) bool {
+		l := p.layer
+		inC := m.TC
+		if l.Kind == workload.DWConv2D {
+			inC = m.TK
+		}
+		in := inC * ((m.TY-1)*l.Stride + m.TR) * ((m.TX-1)*l.Stride + m.TS)
+		w := m.TK * m.TC * m.TR * m.TS
+		out := 2 * m.TK * m.TY * m.TX
+		return 2*(in+w+out) <= p.cfg.L1Bytes
+	}
+	for progress := true; progress; {
+		progress = false
+		for _, d := range mapping.AllDims {
+			next := guided
+			switch d {
+			case mapping.DimK:
+				next.TK *= 2
+			case mapping.DimC:
+				next.TC *= 2
+			case mapping.DimY:
+				next.TY *= 2
+			case mapping.DimX:
+				next.TX *= 2
+			}
+			if next.TR < p.layer.R {
+				next.TR *= 2
+			} else if next.TS < p.layer.S {
+				next.TS *= 2
+			}
+			next = next.Canon(p.layer)
+			if next != guided && fits(next) {
+				guided = next
+				progress = true
+			}
+		}
+	}
+	if guided == minimal {
+		return []mapping.Spatial{minimal}
+	}
+	return []mapping.Spatial{guided, minimal}
+}
+
+// NewSpatialSearcher builds the network-level mapping search for one spatial
+// hardware configuration. Layer searches are seeded deterministically from
+// seed so co-search runs are reproducible.
+func NewSpatialSearcher(eng maestro.Engine, cfg hw.Spatial, w workload.Workload, algo Algo, seed int64) *NetworkSearcher {
+	layers := make([]LayerSearcher, len(w.Layers))
+	repeats := make([]int, len(w.Layers))
+	weights := make([]float64, len(w.Layers))
+	for i, l := range w.Layers {
+		prob := spatialProblem{eng: eng, cfg: cfg, layer: l}
+		rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+		switch algo {
+		case GammaLike:
+			layers[i] = NewGenetic[mapping.Spatial](prob, 16, rng)
+		default:
+			layers[i] = NewAnnealer[mapping.Spatial](prob, rng)
+		}
+		repeats[i] = l.Repeat
+		weights[i] = float64(l.MACs() * int64(l.Repeat))
+	}
+	return NewNetworkSearcher(layers, repeats, weights, eng.Area(cfg))
+}

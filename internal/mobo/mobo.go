@@ -1,0 +1,531 @@
+// Package mobo implements the multi-objective Bayesian optimization of
+// UNICO's outer level (paper Section 3.2): per-objective Gaussian-process
+// surrogates, ParEGO scalarization (Eq. 1), batched acquisition by expected
+// improvement over random scalarizations, and the paper's High Fidelity
+// Update Rule — the UUL-thresholded selection of which evaluated hardware
+// samples may refine the surrogate.
+//
+// The optimizer minimizes every objective. Objectives are modeled in log
+// space (they are positive and span orders of magnitude) and normalized to
+// [0,1] for scalarization.
+package mobo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"unico/internal/gp"
+)
+
+// Space abstracts a finite hardware design space embedded in the unit
+// hypercube. Both hw.SpatialSpace and hw.AscendSpace satisfy it.
+type Space interface {
+	Dim() int
+	Sample(rng *rand.Rand) []float64
+	Clip(x []float64) []float64
+	Neighbor(x []float64, rng *rand.Rand) []float64
+	Key(x []float64) string
+}
+
+// Observation is one evaluated hardware configuration with its objective
+// vector (latency, power, area[, sensitivity]).
+type Observation struct {
+	X []float64
+	Y []float64
+}
+
+// UpdateRule selects which evaluated samples refine the surrogate.
+type UpdateRule int
+
+const (
+	// HighFidelity is the paper's UUL-thresholded rule (Section 3.2).
+	HighFidelity UpdateRule = iota
+	// Champion adds only the batch's best sample per iteration, the vanilla
+	// rule of the Fig. 10 ablation (and effectively HASCO's behaviour).
+	Champion
+	// AllSamples adds every evaluated sample (a further baseline).
+	AllSamples
+)
+
+func (u UpdateRule) String() string {
+	switch u {
+	case HighFidelity:
+		return "high-fidelity"
+	case Champion:
+		return "champion"
+	default:
+		return "all"
+	}
+}
+
+// Config parameterizes the optimizer.
+type Config struct {
+	// Weights are the ParEGO importance weights w_j (must sum to 1); their
+	// length fixes the number of objectives.
+	Weights []float64
+	// Rho is the ParEGO augmentation coefficient (paper default 0.2).
+	Rho float64
+	// UULQuantile is the D-set quantile refreshing the Upper Update Limit
+	// (paper: 0.95).
+	UULQuantile float64
+	// Rule selects the surrogate update rule.
+	Rule UpdateRule
+	// PoolSize is the random candidate pool per acquisition maximization.
+	PoolSize int
+	// Explore is the UCB-style exploration bonus weight in the acquisition.
+	Explore float64
+	// MaxTrain caps the surrogate training set: when exceeded, the oldest
+	// non-elite points are evicted (cubic-cost Gaussian processes need a
+	// sliding window on long runs).
+	MaxTrain int
+}
+
+// DefaultConfig returns the paper's settings for nObj objectives with equal
+// importance weights.
+func DefaultConfig(nObj int) Config {
+	w := make([]float64, nObj)
+	for i := range w {
+		w[i] = 1 / float64(nObj)
+	}
+	return Config{
+		Weights:     w,
+		Rho:         0.2,
+		UULQuantile: 0.95,
+		Rule:        HighFidelity,
+		PoolSize:    256,
+		Explore:     1.0,
+		MaxTrain:    150,
+	}
+}
+
+// Optimizer is the MOBO hardware explorer.
+type Optimizer struct {
+	space Space
+	cfg   Config
+	rng   *rand.Rand
+
+	// train is the surrogate's training set (the high-fidelity subset of
+	// all evaluations); all keeps every observation for normalization and
+	// duplicate suppression.
+	train []Observation
+	all   []Observation
+	seen  map[string]bool
+
+	gps []*gp.GP
+
+	// High-fidelity update state.
+	vBest float64
+	dSet  []float64
+	uul   float64
+
+	// Log-objective normalization bounds over all observations.
+	lo, hi []float64
+}
+
+// New builds an optimizer over the space.
+func New(space Space, cfg Config, seed int64) *Optimizer {
+	if len(cfg.Weights) == 0 {
+		panic("mobo: Config.Weights must be non-empty")
+	}
+	if cfg.Rho <= 0 {
+		cfg.Rho = 0.2
+	}
+	if cfg.UULQuantile <= 0 || cfg.UULQuantile >= 1 {
+		cfg.UULQuantile = 0.95
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 256
+	}
+	if cfg.MaxTrain <= 0 {
+		cfg.MaxTrain = 150
+	}
+	nObj := len(cfg.Weights)
+	return &Optimizer{
+		space: space,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		seen:  map[string]bool{},
+		vBest: math.Inf(1),
+		uul:   math.Inf(1),
+		lo:    make([]float64, nObj),
+		hi:    make([]float64, nObj),
+	}
+}
+
+// NumObjectives returns the objective dimensionality.
+func (o *Optimizer) NumObjectives() int { return len(o.cfg.Weights) }
+
+// TrainSize returns the surrogate training-set size.
+func (o *Optimizer) TrainSize() int { return len(o.train) }
+
+// UUL returns the current Upper Update Limit.
+func (o *Optimizer) UUL() float64 { return o.uul }
+
+// SuggestBatch proposes n distinct unevaluated configurations: random while
+// the surrogate is cold, acquisition-guided afterwards.
+func (o *Optimizer) SuggestBatch(n int) [][]float64 {
+	batch := make([][]float64, 0, n)
+	batchSeen := map[string]bool{}
+	add := func(x []float64) bool {
+		k := o.space.Key(x)
+		if o.seen[k] || batchSeen[k] {
+			return false
+		}
+		batchSeen[k] = true
+		batch = append(batch, x)
+		return true
+	}
+	useModel := o.gps != nil
+	for tries := 0; len(batch) < n && tries < 200*n; tries++ {
+		if !useModel {
+			add(o.space.Sample(o.rng))
+			continue
+		}
+		// One random ParEGO scalarization per batch slot diversifies the
+		// batch across the Pareto front (Knowles' batched ParEGO).
+		lambda := o.randomSimplex()
+		x := o.maximizeAcquisition(lambda, batchSeen)
+		if !add(x) {
+			// Acquisition landed on a duplicate: fall back to exploration.
+			add(o.space.Sample(o.rng))
+		}
+	}
+	return batch
+}
+
+// randomSimplex draws a weight vector uniformly from the simplex.
+func (o *Optimizer) randomSimplex() []float64 {
+	n := o.NumObjectives()
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = -math.Log(1 - o.rng.Float64())
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// maximizeAcquisition searches the candidate pool plus local neighbourhoods
+// of the incumbents for the point with the best (lowest) scalarized
+// lower-confidence bound under the weights lambda.
+func (o *Optimizer) maximizeAcquisition(lambda []float64, exclude map[string]bool) []float64 {
+	best := o.space.Sample(o.rng)
+	bestA := math.Inf(1)
+	consider := func(x []float64) {
+		if exclude[o.space.Key(x)] || o.seen[o.space.Key(x)] {
+			return
+		}
+		a := o.acquisition(x, lambda)
+		if a < bestA {
+			best, bestA = x, a
+		}
+	}
+	for i := 0; i < o.cfg.PoolSize; i++ {
+		consider(o.space.Sample(o.rng))
+	}
+	// Local refinement around the best training points under this lambda.
+	incumbents := o.topTrain(3, lambda)
+	for _, inc := range incumbents {
+		x := inc
+		ax := o.acquisition(x, lambda)
+		for step := 0; step < 16; step++ {
+			y := o.space.Neighbor(x, o.rng)
+			consider(y)
+			if ay := o.acquisition(y, lambda); ay < ax {
+				x, ax = y, ay
+			}
+		}
+	}
+	return best
+}
+
+// acquisition is the scalarized lower-confidence bound: scalarize the
+// per-objective posterior means (normalized log space) with the augmented
+// Tchebycheff form, minus an exploration bonus from the scalarized standard
+// deviation. Lower is better.
+func (o *Optimizer) acquisition(x []float64, lambda []float64) float64 {
+	mu, sigma := o.predictNorm(x)
+	s := scalarize(mu, lambda, o.cfg.Rho)
+	var varSum float64
+	for j := range sigma {
+		v := lambda[j] * sigma[j]
+		varSum += v * v
+	}
+	return s - o.cfg.Explore*math.Sqrt(varSum)
+}
+
+// predictNorm returns the normalized-log-space posterior mean and standard
+// deviation per objective.
+func (o *Optimizer) predictNorm(x []float64) (mu, sigma []float64) {
+	n := o.NumObjectives()
+	mu = make([]float64, n)
+	sigma = make([]float64, n)
+	for j, g := range o.gps {
+		m, v := g.Predict(x)
+		mu[j] = o.normalize(j, m)
+		span := o.hi[j] - o.lo[j]
+		if span <= 0 {
+			span = 1
+		}
+		sigma[j] = math.Sqrt(v) / span
+	}
+	return mu, sigma
+}
+
+// topTrain returns the inputs of the best k training points under lambda.
+func (o *Optimizer) topTrain(k int, lambda []float64) [][]float64 {
+	type scored struct {
+		x []float64
+		v float64
+	}
+	items := make([]scored, 0, len(o.train))
+	for _, ob := range o.train {
+		items = append(items, scored{ob.X, o.scalarizeObs(ob.Y, lambda)})
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].v < items[b].v })
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].x
+	}
+	return out
+}
+
+// ScalarizeParEGO computes v_ParEGO of a raw objective vector under the
+// configured importance weights (paper Eq. 1):
+//
+//	v = max_j(w_j·ŷ_j) + ρ·Σ_j w_j·ŷ_j
+//
+// with ŷ the normalized log objectives.
+func (o *Optimizer) ScalarizeParEGO(y []float64) float64 {
+	return o.scalarizeObs(y, o.cfg.Weights)
+}
+
+func (o *Optimizer) scalarizeObs(y []float64, lambda []float64) float64 {
+	norm := make([]float64, len(y))
+	for j := range y {
+		norm[j] = o.normalize(j, logc(y[j]))
+	}
+	return scalarize(norm, lambda, o.cfg.Rho)
+}
+
+// scalarize is the augmented Tchebycheff form on already-normalized values.
+func scalarize(norm, lambda []float64, rho float64) float64 {
+	if len(norm) != len(lambda) {
+		panic(fmt.Sprintf("mobo: scalarize got %d values, %d weights", len(norm), len(lambda)))
+	}
+	maxTerm := math.Inf(-1)
+	sum := 0.0
+	for j := range norm {
+		t := lambda[j] * norm[j]
+		if t > maxTerm {
+			maxTerm = t
+		}
+		sum += t
+	}
+	return maxTerm + rho*sum
+}
+
+// normalize maps a log-objective value into [0,1] using the observed bounds.
+func (o *Optimizer) normalize(j int, logY float64) float64 {
+	span := o.hi[j] - o.lo[j]
+	if span <= 0 {
+		return 0
+	}
+	v := (logY - o.lo[j]) / span
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// logc is a guarded log for positive objectives.
+func logc(v float64) float64 {
+	if v < 1e-30 {
+		v = 1e-30
+	}
+	return math.Log(v)
+}
+
+// Update ingests a batch of evaluated observations per the configured
+// surrogate update rule, refits the GPs, and returns the number of samples
+// admitted to the training set.
+func (o *Optimizer) Update(batch []Observation) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	for _, ob := range batch {
+		if len(ob.Y) != o.NumObjectives() {
+			panic(fmt.Sprintf("mobo: observation has %d objectives, want %d", len(ob.Y), o.NumObjectives()))
+		}
+		o.all = append(o.all, ob)
+		o.seen[o.space.Key(ob.X)] = true
+	}
+	o.refreshBounds()
+
+	var admitted []Observation
+	switch o.cfg.Rule {
+	case AllSamples:
+		admitted = batch
+	case Champion:
+		best := 0
+		for i := range batch {
+			if o.ScalarizeParEGO(batch[i].Y) < o.ScalarizeParEGO(batch[best].Y) {
+				best = i
+			}
+		}
+		admitted = []Observation{batch[best]}
+	default:
+		admitted = o.highFidelitySelect(batch)
+	}
+	o.train = append(o.train, admitted...)
+	o.evictStale()
+	o.fit()
+	return len(admitted)
+}
+
+// evictStale trims the training set to MaxTrain points, keeping the best
+// quarter by ParEGO scalar (the elites anchoring the optimum region) and
+// the most recent remainder.
+func (o *Optimizer) evictStale() {
+	max := o.cfg.MaxTrain
+	if len(o.train) <= max {
+		return
+	}
+	elite := max / 4
+	idx := make([]int, len(o.train))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return o.ScalarizeParEGO(o.train[idx[a]].Y) < o.ScalarizeParEGO(o.train[idx[b]].Y)
+	})
+	keep := map[int]bool{}
+	for _, i := range idx[:elite] {
+		keep[i] = true
+	}
+	// Fill the rest with the most recent observations.
+	for i := len(o.train) - 1; i >= 0 && len(keep) < max; i-- {
+		keep[i] = true
+	}
+	next := make([]Observation, 0, max)
+	for i, ob := range o.train {
+		if keep[i] {
+			next = append(next, ob)
+		}
+	}
+	o.train = next
+}
+
+// highFidelitySelect implements the High Fidelity Update Rule of Section 3.2:
+//
+//	Step 1: v = v_ParEGO(Y) for each sample of the batch;
+//	Step 2: d = ‖v − v_best‖₂ against the best scalar seen so far;
+//	Step 3: admit samples with d ≤ UUL, adding their d to the set D;
+//	Step 4: UUL ← the UULQuantile (95%) percentile of D.
+func (o *Optimizer) highFidelitySelect(batch []Observation) []Observation {
+	type scored struct {
+		ob Observation
+		v  float64
+		d  float64
+	}
+	items := make([]scored, len(batch))
+	for i, ob := range batch {
+		v := o.ScalarizeParEGO(ob.Y)
+		items[i] = scored{ob: ob, v: v}
+		if v < o.vBest {
+			o.vBest = v
+		}
+	}
+	var admitted []Observation
+	for i := range items {
+		items[i].d = math.Abs(items[i].v - o.vBest)
+		if items[i].d <= o.uul {
+			admitted = append(admitted, items[i].ob)
+			o.dSet = append(o.dSet, items[i].d)
+		}
+	}
+	if len(admitted) == 0 {
+		// Never starve the surrogate: admit the batch champion.
+		best := 0
+		for i := range items {
+			if items[i].v < items[best].v {
+				best = i
+			}
+		}
+		admitted = []Observation{items[best].ob}
+		o.dSet = append(o.dSet, items[best].d)
+	}
+	o.uul = percentile(o.dSet, o.cfg.UULQuantile)
+	return admitted
+}
+
+// refreshBounds recomputes the per-objective log bounds over all
+// observations.
+func (o *Optimizer) refreshBounds() {
+	for j := 0; j < o.NumObjectives(); j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, ob := range o.all {
+			v := logc(ob.Y[j])
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		o.lo[j], o.hi[j] = lo, hi
+	}
+}
+
+// fit refits one GP per objective on the training set (log objectives).
+func (o *Optimizer) fit() {
+	if len(o.train) < 3 {
+		o.gps = nil
+		return
+	}
+	n := o.NumObjectives()
+	gps := make([]*gp.GP, n)
+	for j := 0; j < n; j++ {
+		xs := make([][]float64, len(o.train))
+		ys := make([]float64, len(o.train))
+		for i, ob := range o.train {
+			xs[i] = ob.X
+			ys[i] = logc(ob.Y[j])
+		}
+		g, err := gp.FitAuto(xs, ys)
+		if err != nil {
+			o.gps = nil
+			return
+		}
+		gps[j] = g
+	}
+	o.gps = gps
+}
+
+// percentile returns the q-quantile of v by nearest-rank on a sorted copy.
+func percentile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return math.Inf(1)
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

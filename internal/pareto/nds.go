@@ -1,0 +1,43 @@
+package pareto
+
+// NonDominatedSort partitions points into successive non-dominated fronts
+// F1, F2, ... (Deb et al.'s fast non-dominated sort from NSGA-II [13]):
+// F1 is the Pareto front, F2 the front after removing F1, and so on. Each
+// returned slice holds point indices.
+func NonDominatedSort(points [][]float64) [][]int {
+	n := len(points)
+	dominatedBy := make([][]int, n) // dominatedBy[i]: points i dominates
+	domCount := make([]int, n)      // points dominating i
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(points[i], points[j]) {
+				dominatedBy[i] = append(dominatedBy[i], j)
+			} else if Dominates(points[j], points[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	var fronts [][]int
+	cur := first
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominatedBy[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}

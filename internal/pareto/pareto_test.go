@@ -1,0 +1,265 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict improvement
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{3, 1}, []float64{2, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestFrontSimple(t *testing.T) {
+	pts := [][]float64{
+		{1, 5}, {2, 4}, {3, 3}, {2, 6}, {4, 4}, {1, 5},
+	}
+	idx := Front(pts)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(idx) != len(want) {
+		t.Fatalf("Front = %v", idx)
+	}
+	for _, i := range idx {
+		if !want[i] {
+			t.Errorf("unexpected front member %d (%v)", i, pts[i])
+		}
+	}
+}
+
+// bruteFront recomputes the front definition directly for cross-checking.
+func bruteFront(pts [][]float64) map[string]bool {
+	out := map[string]bool{}
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[key(p)] = true
+		}
+	}
+	return out
+}
+
+func key(p []float64) string {
+	s := ""
+	for _, v := range p {
+		s += "|"
+		s += string(rune(int(v*7) + 48))
+	}
+	return s
+}
+
+func TestFrontMatchesBruteForceProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var pts [][]float64
+		for i := 0; i+1 < len(raw) && len(pts) < 12; i += 2 {
+			pts = append(pts, []float64{float64(raw[i] % 8), float64(raw[i+1] % 8)})
+		}
+		want := bruteFront(pts)
+		for _, i := range Front(pts) {
+			if !want[key(pts[i])] {
+				return false
+			}
+		}
+		// Every non-dominated *value* must appear in the front.
+		got := map[string]bool{}
+		for _, i := range Front(pts) {
+			got[key(pts[i])] = true
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontDeduplicates(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	if got := Front(pts); len(got) != 1 {
+		t.Errorf("Front kept %d duplicates", len(got))
+	}
+}
+
+func TestHypervolume2DByHand(t *testing.T) {
+	// Points (1,3), (2,2), (3,1) with ref (4,4). By x-slices:
+	// x in [1,2): y in [3,4) -> 1; x in [2,3): y in [2,4) -> 2;
+	// x in [3,4): y in [1,4) -> 3. Union area = 6.
+	pts := [][]float64{{1, 3}, {2, 2}, {3, 1}}
+	ref := []float64{4, 4}
+	if got := Hypervolume(pts, ref); math.Abs(got-6) > 1e-12 {
+		t.Errorf("HV = %v, want 6", got)
+	}
+}
+
+func TestHypervolume3DByHand(t *testing.T) {
+	// Single point: a box.
+	if got := Hypervolume([][]float64{{1, 2, 3}}, []float64{2, 4, 6}); math.Abs(got-1*2*3) > 1e-12 {
+		t.Errorf("HV = %v, want 6", got)
+	}
+	// Two disjoint-ish boxes: inclusion-exclusion.
+	pts := [][]float64{{0, 1, 1}, {1, 0, 1}}
+	ref := []float64{2, 2, 2}
+	// inclhv each = 2*1*1 = 2; overlap box from (1,1,1) = 1.
+	if got := Hypervolume(pts, ref); math.Abs(got-3) > 1e-12 {
+		t.Errorf("HV = %v, want 3", got)
+	}
+}
+
+func TestHypervolumeIgnoresOutsidePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {5, 5}}
+	ref := []float64{4, 4}
+	if got := Hypervolume(pts, ref); math.Abs(got-9) > 1e-12 {
+		t.Errorf("HV = %v, want 9", got)
+	}
+	if got := Hypervolume(nil, ref); got != 0 {
+		t.Errorf("HV(empty) = %v", got)
+	}
+}
+
+func TestHypervolumeMonotoneProperty(t *testing.T) {
+	// Adding any point never decreases hypervolume.
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		ref := []float64{9, 9}
+		var pts [][]float64
+		for i := 0; i+1 < len(raw) && len(pts) < 8; i += 2 {
+			pts = append(pts, []float64{float64(raw[i] % 9), float64(raw[i+1] % 9)})
+		}
+		base := Hypervolume(pts[:len(pts)-1], ref)
+		full := Hypervolume(pts, ref)
+		return full >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypervolumePermutationInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 5, rng.Float64() * 5, rng.Float64() * 5}
+		}
+		ref := []float64{6, 6, 6}
+		a := Hypervolume(pts, ref)
+		rng.Shuffle(n, func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		b := Hypervolume(pts, ref)
+		return math.Abs(a-b) < 1e-9*(1+a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	pts := [][]float64{{0, 4}, {1, 2}, {2, 1}, {4, 0}}
+	cds := CrowdingDistance(pts)
+	if !math.IsInf(cds[0], 1) || !math.IsInf(cds[3], 1) {
+		t.Errorf("boundary points not infinite: %v", cds)
+	}
+	if math.IsInf(cds[1], 1) || cds[1] <= 0 {
+		t.Errorf("interior crowding distance %v", cds[1])
+	}
+	if len(CrowdingDistance(nil)) != 0 {
+		t.Error("empty input mishandled")
+	}
+}
+
+func TestMinEuclidKnee(t *testing.T) {
+	// A clean 2D front with an obvious knee at (2,2).
+	pts := [][]float64{{1, 10}, {2, 2}, {10, 1}}
+	if got := MinEuclid(pts); got != 1 {
+		t.Errorf("MinEuclid = %d, want 1 (the knee)", got)
+	}
+	if MinEuclid(nil) != -1 {
+		t.Error("MinEuclid(empty) != -1")
+	}
+}
+
+func TestNonDominatedSortRanks(t *testing.T) {
+	pts := [][]float64{
+		{1, 4}, {2, 3}, {4, 1}, // F1
+		{2, 5}, {3, 4}, // F2 (each dominated by an F1 point only)
+		{5, 5}, // F3
+	}
+	fronts := NonDominatedSort(pts)
+	if len(fronts) != 3 {
+		t.Fatalf("got %d fronts: %v", len(fronts), fronts)
+	}
+	if len(fronts[0]) != 3 || len(fronts[1]) != 2 || len(fronts[2]) != 1 {
+		t.Errorf("front sizes: %v", fronts)
+	}
+	// F1 must equal Front().
+	f1 := map[int]bool{}
+	for _, i := range fronts[0] {
+		f1[i] = true
+	}
+	for _, i := range Front(pts) {
+		if !f1[i] {
+			t.Errorf("Front member %d missing from NDS F1", i)
+		}
+	}
+}
+
+func TestNonDominatedSortCoversAllProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var pts [][]float64
+		for i := 0; i+1 < len(raw) && len(pts) < 10; i += 2 {
+			pts = append(pts, []float64{float64(raw[i] % 6), float64(raw[i+1] % 6)})
+		}
+		fronts := NonDominatedSort(pts)
+		count := 0
+		for _, f := range fronts {
+			count += len(f)
+		}
+		return count == len(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := [][]float64{{2, 10}, {4, 5}}
+	norm := Normalize(pts)
+	if norm[1][0] != 1 || norm[0][1] != 1 {
+		t.Errorf("Normalize = %v", norm)
+	}
+	if norm[0][0] != 0.5 || norm[1][1] != 0.5 {
+		t.Errorf("Normalize = %v", norm)
+	}
+	if Normalize(nil) != nil {
+		t.Error("Normalize(nil) != nil")
+	}
+}

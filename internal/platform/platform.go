@@ -1,0 +1,142 @@
+// Package platform wires the hardware spaces, cost models and
+// mapping-search tools into the core.Platform interface the co-optimizer
+// drives — one constructor per accelerator platform of the paper's
+// evaluation (Section 4.1).
+package platform
+
+import (
+	"strings"
+
+	"unico/internal/camodel"
+	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/mapsearch"
+	"unico/internal/mobo"
+	"unico/internal/workload"
+)
+
+// combine concatenates the workload set into one layer table; the
+// co-optimization objective is then the aggregate PPA across all input
+// networks, as in the paper's multi-workload runs (Sections 4.3 and 4.4).
+func combine(ws []workload.Workload) workload.Workload {
+	if len(ws) == 1 {
+		return ws[0]
+	}
+	names := make([]string, len(ws))
+	var layers []workload.Layer
+	for i, w := range ws {
+		names[i] = w.Name
+		for _, l := range w.Layers {
+			l.Name = w.Name + "/" + l.Name
+			layers = append(layers, l)
+		}
+	}
+	return workload.Workload{Name: strings.Join(names, "+"), Layers: layers}
+}
+
+// Spatial is the open-source spatial-accelerator platform: the Fig. 1
+// template searched over MAESTRO-like analytical PPA.
+type Spatial struct {
+	Engine    maestro.Engine
+	Algo      mapsearch.Algo
+	space     *hw.SpatialSpace
+	workloads workload.Workload
+}
+
+// NewSpatial builds the platform for a deployment scenario and workload set.
+func NewSpatial(sc hw.Scenario, ws []workload.Workload, algo mapsearch.Algo) *Spatial {
+	if len(ws) == 0 {
+		panic("platform: NewSpatial needs at least one workload")
+	}
+	return &Spatial{
+		Engine:    maestro.Engine{},
+		Algo:      algo,
+		space:     hw.NewSpatialSpace(sc),
+		workloads: combine(ws),
+	}
+}
+
+// Space returns the hardware design space.
+func (p *Spatial) Space() mobo.Space { return p.space }
+
+// SpatialSpace returns the concrete space for decoding.
+func (p *Spatial) SpatialSpace() *hw.SpatialSpace { return p.space }
+
+// Workload returns the (combined) workload under co-optimization.
+func (p *Spatial) Workload() workload.Workload { return p.workloads }
+
+// NewJob builds the mapping search for the hardware at x.
+func (p *Spatial) NewJob(x []float64, seed int64) mapsearch.Searcher {
+	cfg := p.space.Decode(x)
+	return mapsearch.NewSpatialSearcher(p.Engine, cfg, p.workloads, p.Algo, seed)
+}
+
+// EvalCostSeconds is the simulated cost of one budget unit: one network
+// mapping evaluation, i.e. one analytical-model call per layer.
+func (p *Spatial) EvalCostSeconds() float64 {
+	return p.Engine.EvalCostSeconds() * float64(len(p.workloads.Layers))
+}
+
+// Describe renders the hardware at x.
+func (p *Spatial) Describe(x []float64) string { return p.space.Describe(x) }
+
+// PowerCapMW is the scenario's deployment power constraint.
+func (p *Spatial) PowerCapMW() float64 { return p.space.Scenario().PowerCapMW() }
+
+// AreaCapMM2 is unconstrained on the open-source platform.
+func (p *Spatial) AreaCapMM2() float64 { return 0 }
+
+// Ascend is the Ascend-like industrial platform: the DaVinci-style core
+// searched over the cycle-level simulator, under the 200 mm² edge-chip area
+// constraint of paper Section 4.6.
+type Ascend struct {
+	Engine    camodel.Engine
+	Algo      mapsearch.Algo
+	AreaCap   float64
+	space     *hw.AscendSpace
+	workloads workload.Workload
+}
+
+// NewAscend builds the Ascend-like platform for a workload set.
+func NewAscend(ws []workload.Workload, algo mapsearch.Algo) *Ascend {
+	if len(ws) == 0 {
+		panic("platform: NewAscend needs at least one workload")
+	}
+	return &Ascend{
+		Engine:    camodel.Engine{},
+		Algo:      algo,
+		AreaCap:   200,
+		space:     hw.NewAscendSpace(),
+		workloads: combine(ws),
+	}
+}
+
+// Space returns the hardware design space.
+func (p *Ascend) Space() mobo.Space { return p.space }
+
+// AscendSpace returns the concrete space for decoding.
+func (p *Ascend) AscendSpace() *hw.AscendSpace { return p.space }
+
+// Workload returns the (combined) workload under co-optimization.
+func (p *Ascend) Workload() workload.Workload { return p.workloads }
+
+// NewJob builds the schedule search for the core at x.
+func (p *Ascend) NewJob(x []float64, seed int64) mapsearch.Searcher {
+	cfg := p.space.Decode(x)
+	return mapsearch.NewAscendSearcher(p.Engine, cfg, p.workloads, p.Algo, seed)
+}
+
+// EvalCostSeconds is the simulated cost of one budget unit: one network
+// schedule evaluation, i.e. one CAModel call (minutes each) per layer.
+func (p *Ascend) EvalCostSeconds() float64 {
+	return p.Engine.EvalCostSeconds() * float64(len(p.workloads.Layers))
+}
+
+// Describe renders the core at x.
+func (p *Ascend) Describe(x []float64) string { return p.space.Describe(x) }
+
+// PowerCapMW is unconstrained in the Fig. 11 study (power is an objective).
+func (p *Ascend) PowerCapMW() float64 { return 0 }
+
+// AreaCapMM2 is the 200 mm² edge-chip constraint.
+func (p *Ascend) AreaCapMM2() float64 { return p.AreaCap }

@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+
+	"unico/internal/core"
+	"unico/internal/hw"
+	"unico/internal/mapsearch"
+	"unico/internal/workload"
+)
+
+// Compile-time interface checks.
+var (
+	_ core.Platform = (*Spatial)(nil)
+	_ core.Platform = (*Ascend)(nil)
+)
+
+func TestSpatialPlatform(t *testing.T) {
+	p := NewSpatial(hw.Edge, []workload.Workload{workload.MobileNet()}, mapsearch.FlexTensorLike)
+	if p.Space().Dim() != 6 {
+		t.Errorf("Dim = %d", p.Space().Dim())
+	}
+	if p.PowerCapMW() != 2000 {
+		t.Errorf("PowerCapMW = %v", p.PowerCapMW())
+	}
+	if p.AreaCapMM2() != 0 {
+		t.Errorf("AreaCapMM2 = %v", p.AreaCapMM2())
+	}
+	// Budget-unit cost = per-eval cost x layer count.
+	wantCost := p.Engine.EvalCostSeconds() * float64(len(workload.MobileNet().Layers))
+	if got := p.EvalCostSeconds(); got != wantCost {
+		t.Errorf("EvalCostSeconds = %v, want %v", got, wantCost)
+	}
+	x := p.Space().Sample(rand.New(rand.NewSource(1)))
+	if p.Describe(x) == "" {
+		t.Error("empty Describe")
+	}
+	job := p.NewJob(x, 1)
+	job.Advance(3)
+	if job.Spent() != 3 {
+		t.Errorf("Spent = %d", job.Spent())
+	}
+}
+
+func TestAscendPlatform(t *testing.T) {
+	p := NewAscend([]workload.Workload{workload.DLEU()}, mapsearch.DepthFirst)
+	if p.AreaCapMM2() != 200 {
+		t.Errorf("AreaCapMM2 = %v, want the paper's 200", p.AreaCapMM2())
+	}
+	if p.PowerCapMW() != 0 {
+		t.Errorf("PowerCapMW = %v", p.PowerCapMW())
+	}
+	if p.EvalCostSeconds() < 60 {
+		t.Errorf("CAModel budget-unit cost %v suspiciously cheap", p.EvalCostSeconds())
+	}
+	def := p.AscendSpace().Encode(hw.DefaultAscend())
+	job := p.NewJob(def, 2)
+	job.Advance(2)
+	if _, ok := job.Best(); !ok {
+		t.Error("default core found no schedule in 2 units")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	p := NewSpatial(hw.Edge,
+		[]workload.Workload{workload.BERT(), workload.ViT()}, mapsearch.FlexTensorLike)
+	combined := p.Workload()
+	if combined.Name != "Bert+VIT" {
+		t.Errorf("combined name %q", combined.Name)
+	}
+	want := len(workload.BERT().Layers) + len(workload.ViT().Layers)
+	if len(combined.Layers) != want {
+		t.Errorf("combined layers %d, want %d", len(combined.Layers), want)
+	}
+	// Layer names must be qualified by network.
+	if combined.Layers[0].Name != "Bert/qkv_proj" {
+		t.Errorf("layer name %q", combined.Layers[0].Name)
+	}
+	single := NewSpatial(hw.Edge, []workload.Workload{workload.BERT()}, mapsearch.FlexTensorLike)
+	if single.Workload().Name != "Bert" {
+		t.Error("single-workload combine must be the identity")
+	}
+}
+
+func TestConstructorsRejectEmpty(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"spatial": func() { NewSpatial(hw.Edge, nil, mapsearch.FlexTensorLike) },
+		"ascend":  func() { NewAscend(nil, mapsearch.DepthFirst) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s constructor accepted empty workloads", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,219 @@
+package robust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"unico/internal/mapsearch"
+	"unico/internal/ppa"
+)
+
+func TestFKnownValues(t *testing.T) {
+	cases := []struct {
+		theta, want float64
+	}{
+		{0, 1},
+		{math.Pi / 2, 0},
+		{math.Pi, 2},
+	}
+	for _, tc := range cases {
+		if got := F(tc.theta); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("F(%v) = %v, want %v", tc.theta, got, tc.want)
+		}
+	}
+}
+
+func TestFAsymmetry(t *testing.T) {
+	// The paper prefers θ in [0, π/2] over (π/2, π]: the multiplier at π
+	// (3Δ) must exceed the one at 0 (2Δ).
+	if 1+F(math.Pi) <= 1+F(0) {
+		t.Error("F is not asymmetric toward penalizing power increases")
+	}
+	// F decreases on [0, π/2] and increases on [π/2, π].
+	if F(0.3) >= F(0.1)+1e-12 && F(0.1) != F(0.3) {
+		// fine: decreasing
+	}
+	if F(1.0) >= F(0.5) {
+		t.Error("F not decreasing on [0, π/2]")
+	}
+	if F(3.0) <= F(2.0) {
+		t.Error("F not increasing on [π/2, π]")
+	}
+}
+
+func met(lat, pow float64) ppa.Metrics {
+	return ppa.Metrics{LatencyMs: lat, PowerMW: pow, AreaMM2: 1, EnergyUJ: lat * pow}
+}
+
+func TestThetaQuadrants(t *testing.T) {
+	opt := met(10, 100)
+	// Sub-optimal slower and hungrier: both improved at the optimum — good
+	// branch, θ in (0, π/2).
+	both := Theta(opt, met(20, 150))
+	if both <= 0 || both >= math.Pi/2 {
+		t.Errorf("both-improve θ = %v, want (0, π/2)", both)
+	}
+	// Sub-optimal slower but *cheaper*: the optimum bought latency with
+	// power — bad branch, θ in (π/2, π].
+	bad := Theta(opt, met(20, 50))
+	if bad <= math.Pi/2 || bad > math.Pi {
+		t.Errorf("power-increase θ = %v, want (π/2, π]", bad)
+	}
+	// Pure power increase: worst case π.
+	if got := Theta(opt, met(10, 50)); math.Abs(got-math.Pi) > 1e-12 {
+		t.Errorf("pure power increase θ = %v, want π", got)
+	}
+	// Pure latency improvement with equal power: θ = 0.
+	if got := Theta(opt, met(20, 100)); got != 0 {
+		t.Errorf("pure latency θ = %v, want 0", got)
+	}
+	// Identical points: neutral π/2.
+	if got := Theta(opt, opt); got != math.Pi/2 {
+		t.Errorf("identical θ = %v, want π/2", got)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	opt := met(10, 100)
+	if got := Delta(opt, opt); got != 0 {
+		t.Errorf("Delta(identical) = %v", got)
+	}
+	// 10% latency and 10% power deviation: Δ = sqrt(0.01 + 0.01).
+	sub := met(11, 110)
+	want := math.Sqrt(0.02)
+	if got := Delta(opt, sub); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Delta = %v, want %v", got, want)
+	}
+	if got := Delta(ppa.Metrics{}, sub); got != RInfeasible {
+		t.Errorf("Delta with degenerate optimum = %v", got)
+	}
+}
+
+func hist(points ...ppa.Metrics) ppa.History {
+	h := make(ppa.History, len(points))
+	loss := math.Inf(1)
+	for i, m := range points {
+		l := m.EDP()
+		if l > loss {
+			l = loss
+		}
+		loss = l
+		h[i] = ppa.Point{Budget: i + 1, Loss: l, M: m}
+	}
+	return h
+}
+
+func TestSensitivityFlatHistoryIsRobust(t *testing.T) {
+	// A search that converges immediately and never moves: R = 0.
+	pts := make([]ppa.Metrics, 50)
+	for i := range pts {
+		pts[i] = met(10, 100)
+	}
+	if got := Sensitivity(hist(pts...), DefaultAlpha); got != 0 {
+		t.Errorf("flat-history R = %v, want 0", got)
+	}
+}
+
+func TestSensitivityVolatileTailIsFragile(t *testing.T) {
+	// Stable for most of the search, then a large late improvement: the 95%
+	// right-tail sub-optimal point is far from the converged optimum.
+	stable := make([]ppa.Metrics, 40)
+	for i := range stable {
+		stable[i] = met(100, 100)
+	}
+	volatile := append(stable, met(10, 100), met(10, 100))
+	calm := make([]ppa.Metrics, 42)
+	for i := range calm {
+		calm[i] = met(10, 100)
+	}
+	rVolatile := Sensitivity(hist(volatile...), DefaultAlpha)
+	rCalm := Sensitivity(hist(calm...), DefaultAlpha)
+	if rVolatile <= rCalm {
+		t.Errorf("volatile R %v <= calm R %v", rVolatile, rCalm)
+	}
+}
+
+func TestSensitivityInfeasibleHistories(t *testing.T) {
+	if got := Sensitivity(nil, DefaultAlpha); got != RInfeasible {
+		t.Errorf("nil history R = %v", got)
+	}
+	penalty := ppa.History{{Budget: 1, Loss: mapsearch.PenaltyLoss}}
+	if got := Sensitivity(penalty, DefaultAlpha); got != RInfeasible {
+		t.Errorf("penalty-only history R = %v", got)
+	}
+	single := ppa.History{{Budget: 1, Loss: 1, M: met(1, 1)}}
+	if got := Sensitivity(single, DefaultAlpha); got != RInfeasible {
+		t.Errorf("single-point history R = %v", got)
+	}
+}
+
+func TestSensitivitySkipsPenaltyPrefix(t *testing.T) {
+	pts := make([]ppa.Metrics, 30)
+	for i := range pts {
+		pts[i] = met(10, 100)
+	}
+	h := append(ppa.History{
+		{Budget: 1, Loss: mapsearch.PenaltyLoss},
+		{Budget: 2, Loss: mapsearch.PenaltyLoss},
+	}, hist(pts...)...)
+	if got := Sensitivity(h, DefaultAlpha); got != 0 {
+		t.Errorf("penalty prefix distorted R: %v", got)
+	}
+}
+
+func TestSensitivityBadAlphaFallsBack(t *testing.T) {
+	pts := make([]ppa.Metrics, 30)
+	for i := range pts {
+		pts[i] = met(10, 100)
+	}
+	if got := Sensitivity(hist(pts...), -3); got != 0 {
+		t.Errorf("bad alpha fallback R = %v", got)
+	}
+}
+
+// TestSensitivityBoundedProperty: R is always in [0, RInfeasible].
+func TestSensitivityBoundedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var pts []ppa.Metrics
+		for i := 0; i+1 < len(raw) && len(pts) < 40; i += 2 {
+			pts = append(pts, met(float64(raw[i])+1, float64(raw[i+1])+1))
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		r := Sensitivity(hist(pts...), DefaultAlpha)
+		return r >= 0 && r <= RInfeasible
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRFormula checks R = mean over the sub-optimal band of Δ(1 + F(θ)):
+// with a band containing one duplicate of the optimum and sub-optimal
+// samples, the mean interpolates between 0 and the pairwise value.
+func TestRFormula(t *testing.T) {
+	optimal := met(10, 100)
+	sub := met(20, 150)
+	pts := make([]ppa.Metrics, 40)
+	for i := range pts {
+		pts[i] = sub
+	}
+	pts = append(pts, optimal, optimal)
+	got := Sensitivity(hist(pts...), DefaultAlpha)
+	pairwise := Delta(optimal, sub) * (1 + F(Theta(optimal, sub)))
+	// The band holds the duplicate optimum (contributing 0) plus sub
+	// samples; the mean must land strictly between 0 and the pairwise R.
+	if got <= 0 || got >= pairwise {
+		t.Errorf("band-mean R = %v, want in (0, %v)", got, pairwise)
+	}
+	// With a band of {optimum-duplicate, sub...}: mean = pairwise*(k-1)/k
+	// where k is the band size. Verify against the direct computation.
+	n := len(pts)
+	bandLen := int(math.Ceil(DefaultAlpha * float64(n-1)))
+	want := pairwise * float64(bandLen-1) / float64(bandLen)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("R = %v, want %v (band %d)", got, want, bandLen)
+	}
+}

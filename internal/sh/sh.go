@@ -1,0 +1,235 @@
+// Package sh implements successive halving for software-mapping search
+// scheduling: the default SH of Jamieson & Talwalkar [29] and the paper's
+// modified successive halving (MSH, Section 3.3 and Fig. 4), which promotes
+// candidates by terminal value (TV) and by the area under the convergence
+// curve (AUC), giving steeply-converging hardware a second chance.
+//
+// Setting PFrac = 0 makes MSH degenerate to the default SH exactly, the
+// property paper Section 3.3 states and the tests verify.
+package sh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"unico/internal/mapsearch"
+	"unico/internal/ppa"
+	"unico/internal/simclock"
+)
+
+// Config parameterizes a successive-halving run.
+type Config struct {
+	// Eta is the halving rate (paper and defaults: 2).
+	Eta float64
+	// KFrac is the fraction of the current candidates surviving each round
+	// (paper: k = ⌊0.5·N⌋).
+	KFrac float64
+	// PFrac is the fraction of the current candidates promoted by AUC
+	// (paper: p = ⌊0.15·N⌋; 0 recovers default SH).
+	PFrac float64
+	// BMax is the maximum per-candidate software-mapping budget b_max.
+	BMax int
+	// Workers bounds the parallel Advance calls within a round (the
+	// per-round job parallelism of paper Fig. 6a).
+	Workers int
+	// EvalCostSeconds is the simulated cost of one mapping evaluation,
+	// charged to Clock per the parallel makespan.
+	EvalCostSeconds float64
+	// Clock, if non-nil, accrues the simulated wall-clock cost.
+	Clock *simclock.Clock
+}
+
+// Default returns the paper's MSH configuration.
+func Default(bmax int) Config {
+	return Config{Eta: 2, KFrac: 0.5, PFrac: 0.15, BMax: bmax, Workers: 8}
+}
+
+// normalize fills zero fields with defaults and validates.
+func (c Config) normalize() Config {
+	if c.Eta < 1.5 {
+		c.Eta = 2
+	}
+	if c.KFrac <= 0 || c.KFrac >= 1 {
+		c.KFrac = 0.5
+	}
+	if c.PFrac < 0 {
+		c.PFrac = 0
+	}
+	if c.PFrac > c.KFrac {
+		c.PFrac = c.KFrac
+	}
+	if c.BMax < 1 {
+		c.BMax = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Outcome reports a finished run.
+type Outcome struct {
+	// Histories holds each candidate's final search history, indexed as the
+	// input jobs (eliminated candidates keep their truncated histories).
+	Histories []ppa.History
+	// Survivors lists the candidate indices alive after the last round.
+	Survivors []int
+	// TotalEvals is the number of mapping evaluations spent across all
+	// candidates.
+	TotalEvals int
+	// Rounds is the number of successive-halving rounds executed.
+	Rounds int
+}
+
+// Run schedules the software-mapping searches of a batch of hardware
+// candidates with (modified) successive halving. Every job must be fresh
+// (zero budget spent).
+func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
+	cfg = cfg.normalize()
+	n := len(jobs)
+	if n == 0 {
+		return Outcome{}
+	}
+	// Budget ladder: the final round reaches BMax per survivor; earlier
+	// rounds receive geometrically smaller cumulative budgets
+	// (b_r = BMax·η^(r-s), Algorithm 1 lines 2 and 6).
+	rounds := int(math.Ceil(math.Log(float64(n)) / math.Log(cfg.Eta)))
+	if rounds < 1 {
+		rounds = 1
+	}
+	cumBudget := make([]int, rounds)
+	for r := 0; r < rounds; r++ {
+		b := float64(cfg.BMax) * math.Pow(cfg.Eta, float64(r+1-rounds))
+		cumBudget[r] = int(math.Max(1, math.Floor(b)))
+	}
+
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	totalEvals := 0
+	for r := 0; r < rounds; r++ {
+		target := cumBudget[r]
+		// Advance all alive candidates to the round's cumulative budget, in
+		// parallel; charge the makespan to the simulated clock.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		delta := 0
+		for _, ji := range alive {
+			d := target - jobs[ji].Spent()
+			if d <= 0 {
+				continue
+			}
+			delta += d
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j mapsearch.Searcher, d int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				j.Advance(d)
+			}(jobs[ji], d)
+		}
+		wg.Wait()
+		totalEvals += delta
+		if cfg.Clock != nil && len(alive) > 0 && delta > 0 {
+			// Makespan: candidates advance in parallel waves over Workers;
+			// each costs its budget delta (averaged here) in eval time.
+			perCand := float64(delta) / float64(len(alive)) * cfg.EvalCostSeconds
+			cfg.Clock.AdvanceParallel(len(alive), perCand, cfg.Workers)
+		}
+		if r == rounds-1 {
+			break
+		}
+		alive = Promote(jobs, alive, cfg)
+		if len(alive) <= 1 {
+			// Run the lone survivor to full budget.
+			last := rounds - 1
+			for _, ji := range alive {
+				d := cumBudget[last] - jobs[ji].Spent()
+				if d > 0 {
+					jobs[ji].Advance(d)
+					totalEvals += d
+					if cfg.Clock != nil {
+						cfg.Clock.Advance(float64(d) * cfg.EvalCostSeconds)
+					}
+				}
+			}
+			break
+		}
+	}
+
+	hist := make([]ppa.History, n)
+	for i, j := range jobs {
+		hist[i] = j.History()
+	}
+	return Outcome{Histories: hist, Survivors: alive, TotalEvals: totalEvals, Rounds: rounds}
+}
+
+// Promote selects the surviving candidate indices for the next round: the
+// top (k-p) by terminal value, plus the top p by AUC not already selected
+// (paper Section 3.3: Hᵏ = H_TV^(k-p) ∪ H_AUC^(p), disjoint).
+func Promote(jobs []mapsearch.Searcher, alive []int, cfg Config) []int {
+	cfg = cfg.normalize()
+	nAlive := len(alive)
+	k := int(cfg.KFrac * float64(nAlive))
+	if k < 1 {
+		k = 1
+	}
+	p := int(cfg.PFrac * float64(nAlive))
+	if p > k {
+		p = k
+	}
+
+	byTV := append([]int(nil), alive...)
+	sort.SliceStable(byTV, func(a, b int) bool {
+		return terminalValue(jobs[byTV[a]]) < terminalValue(jobs[byTV[b]])
+	})
+	byAUC := append([]int(nil), alive...)
+	sort.SliceStable(byAUC, func(a, b int) bool {
+		return auc(jobs[byAUC[a]]) > auc(jobs[byAUC[b]])
+	})
+
+	selected := make([]int, 0, k)
+	inSet := map[int]bool{}
+	for _, ji := range byTV {
+		if len(selected) >= k-p {
+			break
+		}
+		selected = append(selected, ji)
+		inSet[ji] = true
+	}
+	for _, ji := range byAUC {
+		if len(selected) >= k {
+			break
+		}
+		if inSet[ji] {
+			continue
+		}
+		selected = append(selected, ji)
+		inSet[ji] = true
+	}
+	sort.Ints(selected)
+	return selected
+}
+
+// terminalValue is the candidate's best loss so far.
+func terminalValue(j mapsearch.Searcher) float64 {
+	h := j.History()
+	if len(h) == 0 {
+		return math.Inf(1)
+	}
+	return h.Last().Loss
+}
+
+// auc is the candidate's convergence-rate score (Fig. 4b), computed on the
+// feasible suffix of its history so infeasible warm-up plateaus do not
+// inflate it.
+func auc(j mapsearch.Searcher) float64 {
+	return mapsearch.Feasible(j.History()).AUC()
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("sh{eta=%.3g k=%.2f p=%.2f bmax=%d}", c.Eta, c.KFrac, c.PFrac, c.BMax)
+}

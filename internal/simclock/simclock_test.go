@@ -1,0 +1,77 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(5)
+	if got := c.Seconds(); got != 15 {
+		t.Errorf("Seconds() = %v, want 15", got)
+	}
+	if got := c.Hours(); got != 15.0/3600 {
+		t.Errorf("Hours() = %v", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestAdvanceParallelMakespan(t *testing.T) {
+	cases := []struct {
+		jobs, workers int
+		secPerJob     float64
+		want          float64
+	}{
+		{jobs: 8, workers: 4, secPerJob: 10, want: 20}, // two waves
+		{jobs: 9, workers: 4, secPerJob: 10, want: 30}, // ceil(9/4)=3 waves
+		{jobs: 3, workers: 8, secPerJob: 10, want: 10}, // one wave
+		{jobs: 5, workers: 1, secPerJob: 2, want: 10},  // sequential
+		{jobs: 0, workers: 4, secPerJob: 10, want: 0},  // nothing to do
+		{jobs: 4, workers: 0, secPerJob: 1, want: 4},   // workers clamp to 1
+		{jobs: 4, workers: -3, secPerJob: 1, want: 4},  // negative clamp too
+	}
+	for _, tc := range cases {
+		var c Clock
+		c.AdvanceParallel(tc.jobs, tc.secPerJob, tc.workers)
+		if got := c.Seconds(); got != tc.want {
+			t.Errorf("AdvanceParallel(%d, %v, %d) = %v, want %v",
+				tc.jobs, tc.secPerJob, tc.workers, got, tc.want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Advance(42)
+	c.Reset()
+	if c.Seconds() != 0 {
+		t.Errorf("Seconds() after Reset = %v", c.Seconds())
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(1)
+		}()
+	}
+	wg.Wait()
+	if got := c.Seconds(); got != 100 {
+		t.Errorf("concurrent Seconds() = %v, want 100", got)
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON workload definitions let users co-optimize for networks outside the
+// built-in zoo. The format is a thin mirror of the Layer table:
+//
+//	{
+//	  "name": "MyNet",
+//	  "layers": [
+//	    {"name": "stem", "kind": "conv", "k": 32, "c": 3, "y": 112, "x": 112,
+//	     "r": 3, "s": 3, "stride": 2, "repeat": 1},
+//	    {"name": "dw1", "kind": "dwconv", "k": 32, "y": 112, "x": 112,
+//	     "r": 3, "s": 3},
+//	    {"name": "fc", "kind": "gemm", "m": 1, "kin": 1024, "nout": 1000}
+//	  ]
+//	}
+//
+// Omitted fields default sensibly: n/stride/repeat to 1, and depthwise c is
+// forced to 1. GEMM layers use (m, kin, nout) and are stored in
+// convolution-normal form like the zoo's.
+
+// jsonLayer is the wire form of one operator.
+type jsonLayer struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	N      int    `json:"n,omitempty"`
+	K      int    `json:"k,omitempty"`
+	C      int    `json:"c,omitempty"`
+	Y      int    `json:"y,omitempty"`
+	X      int    `json:"x,omitempty"`
+	R      int    `json:"r,omitempty"`
+	S      int    `json:"s,omitempty"`
+	Stride int    `json:"stride,omitempty"`
+	Repeat int    `json:"repeat,omitempty"`
+	// GEMM form.
+	M    int `json:"m,omitempty"`
+	KIn  int `json:"kin,omitempty"`
+	NOut int `json:"nout,omitempty"`
+}
+
+// jsonWorkload is the wire form of a network.
+type jsonWorkload struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+// ParseJSON decodes a workload definition from r and validates it.
+func ParseJSON(r io.Reader) (Workload, error) {
+	var jw jsonWorkload
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jw); err != nil {
+		return Workload{}, fmt.Errorf("workload: parse JSON: %w", err)
+	}
+	w := Workload{Name: jw.Name}
+	for i, jl := range jw.Layers {
+		l, err := jl.toLayer()
+		if err != nil {
+			return Workload{}, fmt.Errorf("workload %q: layer %d: %w", jw.Name, i, err)
+		}
+		w.Layers = append(w.Layers, l)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// LoadJSONFile reads a workload definition from a file.
+func LoadJSONFile(path string) (Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Workload{}, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return ParseJSON(f)
+}
+
+// toLayer materializes a Layer with defaults applied.
+func (jl jsonLayer) toLayer() (Layer, error) {
+	def := func(v int) int {
+		if v <= 0 {
+			return 1
+		}
+		return v
+	}
+	switch jl.Kind {
+	case "conv":
+		return Layer{
+			Name: jl.Name, Kind: Conv2D,
+			N: def(jl.N), K: jl.K, C: jl.C, Y: jl.Y, X: jl.X,
+			R: def(jl.R), S: def(jl.S),
+			Stride: def(jl.Stride), Repeat: def(jl.Repeat),
+		}, nil
+	case "dwconv":
+		if jl.C > 1 {
+			return Layer{}, fmt.Errorf("depthwise layers take no c field (got %d)", jl.C)
+		}
+		return Layer{
+			Name: jl.Name, Kind: DWConv2D,
+			N: def(jl.N), K: jl.K, C: 1, Y: jl.Y, X: jl.X,
+			R: def(jl.R), S: def(jl.S),
+			Stride: def(jl.Stride), Repeat: def(jl.Repeat),
+		}, nil
+	case "gemm":
+		if jl.M <= 0 || jl.KIn <= 0 || jl.NOut <= 0 {
+			return Layer{}, fmt.Errorf("gemm layers need positive m, kin, nout (got %d, %d, %d)",
+				jl.M, jl.KIn, jl.NOut)
+		}
+		return Gemm(jl.Name, jl.M, jl.KIn, jl.NOut, def(jl.Repeat)), nil
+	case "":
+		return Layer{}, fmt.Errorf("missing kind (want conv | dwconv | gemm)")
+	default:
+		return Layer{}, fmt.Errorf("unknown kind %q (want conv | dwconv | gemm)", jl.Kind)
+	}
+}
+
+// MarshalJSON renders a workload back into the wire format, so programmatic
+// definitions can be saved and reloaded.
+func (w Workload) MarshalJSON() ([]byte, error) {
+	jw := jsonWorkload{Name: w.Name}
+	for _, l := range w.Layers {
+		jl := jsonLayer{Name: l.Name, Repeat: l.Repeat}
+		switch l.Kind {
+		case GEMM:
+			jl.Kind = "gemm"
+			jl.M, jl.KIn, jl.NOut = l.Y, l.C, l.K
+		case DWConv2D:
+			jl.Kind = "dwconv"
+			jl.N, jl.K, jl.Y, jl.X = l.N, l.K, l.Y, l.X
+			jl.R, jl.S, jl.Stride = l.R, l.S, l.Stride
+		default:
+			jl.Kind = "conv"
+			jl.N, jl.K, jl.C, jl.Y, jl.X = l.N, l.K, l.C, l.Y, l.X
+			jl.R, jl.S, jl.Stride = l.R, l.S, l.Stride
+		}
+		jw.Layers = append(jw.Layers, jl)
+	}
+	return json.Marshal(jw)
+}

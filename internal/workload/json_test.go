@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "MyNet",
+  "layers": [
+    {"name": "stem", "kind": "conv", "k": 32, "c": 3, "y": 112, "x": 112,
+     "r": 3, "s": 3, "stride": 2},
+    {"name": "dw1", "kind": "dwconv", "k": 32, "y": 112, "x": 112,
+     "r": 3, "s": 3, "repeat": 2},
+    {"name": "fc", "kind": "gemm", "m": 1, "kin": 1024, "nout": 1000}
+  ]
+}`
+
+func TestParseJSON(t *testing.T) {
+	w, err := ParseJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "MyNet" || len(w.Layers) != 3 {
+		t.Fatalf("parsed %q with %d layers", w.Name, len(w.Layers))
+	}
+	stem := w.Layers[0]
+	if stem.Kind != Conv2D || stem.Stride != 2 || stem.N != 1 || stem.Repeat != 1 {
+		t.Errorf("stem defaults wrong: %+v", stem)
+	}
+	dw := w.Layers[1]
+	if dw.Kind != DWConv2D || dw.C != 1 || dw.Repeat != 2 {
+		t.Errorf("dw layer wrong: %+v", dw)
+	}
+	fc := w.Layers[2]
+	if fc.Kind != GEMM || fc.Y != 1 || fc.C != 1024 || fc.K != 1000 {
+		t.Errorf("gemm normal form wrong: %+v", fc)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("parsed workload invalid: %v", err)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":        `{"name":"x","layers":[{"name":"a","kind":"pool","k":1,"y":1,"x":1}]}`,
+		"missing kind":    `{"name":"x","layers":[{"name":"a","k":1,"y":1,"x":1}]}`,
+		"dw with c":       `{"name":"x","layers":[{"name":"a","kind":"dwconv","k":8,"c":8,"y":4,"x":4,"r":3,"s":3}]}`,
+		"gemm missing":    `{"name":"x","layers":[{"name":"a","kind":"gemm","m":4}]}`,
+		"zero dim":        `{"name":"x","layers":[{"name":"a","kind":"conv","k":0,"c":1,"y":4,"x":4}]}`,
+		"empty layers":    `{"name":"x","layers":[]}`,
+		"empty name":      `{"layers":[{"name":"a","kind":"conv","k":1,"c":1,"y":1,"x":1}]}`,
+		"unknown field":   `{"name":"x","flavour":"vanilla","layers":[]}`,
+		"not JSON at all": `PE6x6 please`,
+	}
+	for name, in := range cases {
+		if _, err := ParseJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+func TestLoadJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "MyNet" {
+		t.Errorf("loaded %q", w.Name)
+	}
+	if _, err := LoadJSONFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	// Every zoo network must survive a marshal/parse round trip unchanged.
+	for _, w := range All() {
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", w.Name, err)
+		}
+		back, err := ParseJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", w.Name, err)
+		}
+		if back.Name != w.Name || len(back.Layers) != len(w.Layers) {
+			t.Fatalf("%s: structure changed", w.Name)
+		}
+		for i := range w.Layers {
+			if back.Layers[i] != w.Layers[i] {
+				t.Fatalf("%s: layer %d changed: %+v -> %+v",
+					w.Name, i, w.Layers[i], back.Layers[i])
+			}
+		}
+	}
+}

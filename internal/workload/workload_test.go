@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.MACs() <= 0 {
+			t.Errorf("%s: MACs() = %d", w.Name, w.MACs())
+		}
+	}
+}
+
+func TestZooNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate network name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestZooSizesPlausible(t *testing.T) {
+	// Sanity-check total MAC counts against the published ballparks
+	// (within 3x): the tables are transcriptions, not exact replicas.
+	want := map[string]struct{ lo, hi float64 }{
+		"ResNet":    {2e9, 12e9},   // ~4.1 GMACs
+		"VGG":       {8e9, 45e9},   // ~15.5 GMACs
+		"MobileNet": {0.3e9, 2e9},  // ~0.57 GMACs
+		"UNet":      {10e9, 200e9}, // tens of GMACs at 256x256
+	}
+	for _, w := range All() {
+		bounds, ok := want[w.Name]
+		if !ok {
+			continue
+		}
+		m := float64(w.MACs())
+		if m < bounds.lo || m > bounds.hi {
+			t.Errorf("%s: MACs = %.3g, want within [%.3g, %.3g]", w.Name, m, bounds.lo, bounds.hi)
+		}
+	}
+}
+
+func TestGemmNormalForm(t *testing.T) {
+	g := Gemm("g", 128, 768, 3072, 2)
+	if g.Y != 128 || g.C != 768 || g.K != 3072 {
+		t.Errorf("Gemm normal form wrong: %+v", g)
+	}
+	if g.X != 1 || g.R != 1 || g.S != 1 || g.N != 1 {
+		t.Errorf("Gemm degenerate dims wrong: %+v", g)
+	}
+	if got, want := g.MACs(), int64(128)*768*3072; got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestLayerMACs(t *testing.T) {
+	c := Conv("c", 64, 32, 56, 56, 3, 3, 1, 1)
+	want := int64(64) * 32 * 56 * 56 * 9
+	if got := c.MACs(); got != want {
+		t.Errorf("conv MACs = %d, want %d", got, want)
+	}
+	d := DWConv("d", 64, 56, 56, 3, 3, 1, 1)
+	if got, want := d.MACs(), int64(64)*56*56*9; got != want {
+		t.Errorf("dwconv MACs = %d, want %d", got, want)
+	}
+}
+
+func TestLayerFootprints(t *testing.T) {
+	l := Conv("c", 8, 4, 10, 10, 3, 3, 2, 1)
+	// Input: 4 channels x ((10-1)*2+3)^2 = 4*21*21.
+	if got, want := l.InputBytes(), int64(4*21*21); got != want {
+		t.Errorf("InputBytes = %d, want %d", got, want)
+	}
+	if got, want := l.WeightBytes(), int64(8*4*3*3); got != want {
+		t.Errorf("WeightBytes = %d, want %d", got, want)
+	}
+	if got, want := l.OutputBytes(), int64(8*10*10); got != want {
+		t.Errorf("OutputBytes = %d, want %d", got, want)
+	}
+	// Depthwise input footprint follows K, not C.
+	d := DWConv("d", 16, 10, 10, 3, 3, 1, 1)
+	if got, want := d.InputBytes(), int64(16*12*12); got != want {
+		t.Errorf("dw InputBytes = %d, want %d", got, want)
+	}
+}
+
+func TestValidateRejectsBadLayers(t *testing.T) {
+	bad := Conv("bad", 0, 4, 10, 10, 3, 3, 1, 1)
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted K = 0")
+	}
+	dw := Layer{Name: "dw", Kind: DWConv2D, N: 1, K: 4, C: 2, Y: 4, X: 4, R: 3, S: 3, Stride: 1, Repeat: 1}
+	if err := dw.Validate(); err == nil {
+		t.Error("Validate accepted depthwise with C = 2")
+	}
+	if err := (Workload{Name: "x"}).Validate(); err == nil {
+		t.Error("Validate accepted empty workload")
+	}
+	if err := (Workload{Layers: []Layer{Conv("c", 1, 1, 1, 1, 1, 1, 1, 1)}}).Validate(); err == nil {
+		t.Error("Validate accepted empty name")
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("ResNet")
+	if err != nil || w.Name != "ResNet" {
+		t.Fatalf("ByName(ResNet) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("NoSuchNet"); err == nil {
+		t.Fatal("ByName accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "available") {
+		t.Errorf("error should list available networks: %v", err)
+	}
+}
+
+func TestTable12Networks(t *testing.T) {
+	nets := Table12Networks()
+	if len(nets) != 7 {
+		t.Fatalf("Table12Networks returned %d networks, want 7", len(nets))
+	}
+	wantNames := []string{"Bert", "MobileNet", "ResNet", "SRGAN", "UNet", "VIT", "Xception"}
+	for i, w := range nets {
+		if w.Name != wantNames[i] {
+			t.Errorf("network %d = %s, want %s", i, w.Name, wantNames[i])
+		}
+	}
+}
+
+func TestFSRCNNResolutionScaling(t *testing.T) {
+	small := FSRCNN(120, 320)
+	big := FSRCNN(240, 640)
+	if big.MACs() < 3*small.MACs() {
+		t.Errorf("4x-pixel FSRCNN should have ~4x MACs: %d vs %d", big.MACs(), small.MACs())
+	}
+}
+
+// TestMACsProductProperty verifies MACs equals the product of the loop
+// bounds for arbitrary positive dims.
+func TestMACsProductProperty(t *testing.T) {
+	f := func(k, c, y, x, r, s uint8) bool {
+		l := Layer{
+			Name: "p", Kind: Conv2D,
+			N: 1, K: int(k%32) + 1, C: int(c%32) + 1,
+			Y: int(y%32) + 1, X: int(x%32) + 1,
+			R: int(r%5) + 1, S: int(s%5) + 1,
+			Stride: 1, Repeat: 1,
+		}
+		want := int64(l.K) * int64(l.C) * int64(l.Y) * int64(l.X) * int64(l.R) * int64(l.S)
+		return l.MACs() == want && l.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

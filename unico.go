@@ -1,0 +1,314 @@
+// Package unico is a from-scratch Go implementation of UNICO — Unified
+// Hardware-Software Co-Optimization for Robust Neural Network Acceleration
+// (MICRO 2023) — together with every substrate its evaluation depends on:
+// the spatial-accelerator analytical cost model, an Ascend-like cycle-level
+// simulator, software-mapping search tools, multi-objective Bayesian
+// optimization with the high-fidelity surrogate update, modified successive
+// halving, the hardware robustness metric R, and the HASCO-like, NSGA-II
+// and MOBOHB baselines.
+//
+// This package is the facade: it exposes platform constructors, a single
+// Optimize entry point with method presets, and design/result types that
+// hide the internal machinery. Power users can drop to the internal
+// packages (importable within this module) for full control; see DESIGN.md
+// for the system inventory.
+//
+// A minimal co-optimization:
+//
+//	p, err := unico.OpenSourcePlatform(unico.Edge, "MobileNet")
+//	if err != nil { ... }
+//	res, err := unico.Optimize(p, unico.Config{})
+//	fmt.Println(res.Best.HW, res.Best.LatencyMs)
+package unico
+
+import (
+	"fmt"
+
+	"unico/internal/baselines"
+	"unico/internal/core"
+	"unico/internal/hw"
+	"unico/internal/mapsearch"
+	"unico/internal/platform"
+	"unico/internal/simclock"
+	"unico/internal/workload"
+)
+
+// Scenario selects the deployment constraints of the open-source platform.
+type Scenario = hw.Scenario
+
+// Deployment scenarios (Tables 1 and 2 of the paper).
+const (
+	Edge  = hw.Edge  // power < 2 W
+	Cloud = hw.Cloud // power < 20 W
+)
+
+// Method selects the co-optimization algorithm.
+type Method int
+
+const (
+	// MethodUNICO is the paper's full algorithm: MOBO with high-fidelity
+	// surrogate updates, modified successive halving and the robustness
+	// objective.
+	MethodUNICO Method = iota
+	// MethodHASCO is the HASCO-like baseline (champion update, no early
+	// stopping, sequential).
+	MethodHASCO
+	// MethodMOBOHB is the multi-objective BOHB baseline (default SH).
+	MethodMOBOHB
+	// MethodNSGAII is the NSGA-II baseline.
+	MethodNSGAII
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodUNICO:
+		return "UNICO"
+	case MethodHASCO:
+		return "HASCO"
+	case MethodMOBOHB:
+		return "MOBOHB"
+	case MethodNSGAII:
+		return "NSGAII"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Platform is an accelerator platform ready for co-optimization.
+type Platform struct {
+	inner core.Platform
+}
+
+// OpenSourcePlatform builds the open-source spatial-accelerator platform
+// (MAESTRO-like analytical PPA, FlexTensor-like mapping search) for the
+// named networks from the model zoo. Listing several networks
+// co-optimizes their aggregate PPA, the multi-workload regime of the
+// paper's generalization studies.
+func OpenSourcePlatform(sc Scenario, networks ...string) (*Platform, error) {
+	ws, err := lookup(networks)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: platform.NewSpatial(sc, ws, mapsearch.FlexTensorLike)}, nil
+}
+
+// AscendLikePlatform builds the Ascend-like industrial platform
+// (cycle-level CAModel, depth-first buffer-fusion schedule search, 200 mm²
+// area cap) for the named networks.
+func AscendLikePlatform(networks ...string) (*Platform, error) {
+	ws, err := lookup(networks)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: platform.NewAscend(ws, mapsearch.DepthFirst)}, nil
+}
+
+// OpenSourcePlatformFromJSON builds the open-source platform for custom
+// networks defined in JSON files (see internal/workload's JSON format:
+// {"name": ..., "layers": [{"kind": "conv"|"dwconv"|"gemm", ...}]}).
+func OpenSourcePlatformFromJSON(sc Scenario, paths ...string) (*Platform, error) {
+	ws, err := loadJSON(paths)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: platform.NewSpatial(sc, ws, mapsearch.FlexTensorLike)}, nil
+}
+
+// AscendLikePlatformFromJSON builds the Ascend-like platform for custom
+// networks defined in JSON files.
+func AscendLikePlatformFromJSON(paths ...string) (*Platform, error) {
+	ws, err := loadJSON(paths)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: platform.NewAscend(ws, mapsearch.DepthFirst)}, nil
+}
+
+func loadJSON(paths []string) ([]workload.Workload, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("unico: no workload files given")
+	}
+	ws := make([]workload.Workload, len(paths))
+	for i, p := range paths {
+		w, err := workload.LoadJSONFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// Networks lists the model-zoo networks available to the platform
+// constructors.
+func Networks() []string {
+	all := workload.All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+func lookup(networks []string) ([]workload.Workload, error) {
+	if len(networks) == 0 {
+		return nil, fmt.Errorf("unico: no networks given (see unico.Networks())")
+	}
+	ws := make([]workload.Workload, len(networks))
+	for i, n := range networks {
+		w, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// Describe renders the hardware configuration encoded at x.
+func (p *Platform) Describe(x []float64) string { return p.inner.Describe(x) }
+
+// Config parameterizes Optimize. The zero value runs full UNICO at the
+// paper's defaults (N = 30, b_max = 300).
+type Config struct {
+	// Method selects the algorithm (default MethodUNICO).
+	Method Method
+	// BatchSize is the hardware batch N per iteration (default 30).
+	BatchSize int
+	// Iterations is the number of outer iterations (default 10).
+	Iterations int
+	// BudgetMax is the software-mapping budget b_max (default 300).
+	BudgetMax int
+	// Workers bounds parallel mapping-search jobs (default 8; the
+	// HASCO-like method is sequential by definition).
+	Workers int
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+	// DisableRobustness drops the sensitivity objective R from UNICO.
+	DisableRobustness bool
+	// TimeBudgetHours stops the search once the simulated clock passes it.
+	TimeBudgetHours float64
+}
+
+func (c Config) normalize() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 30
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	if c.BudgetMax <= 0 {
+		c.BudgetMax = 300
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Design is one hardware configuration with its co-optimized PPA.
+type Design struct {
+	// HW is the human-readable hardware description.
+	HW string
+	// X is the encoded design-space point (reusable with EvaluateOn).
+	X []float64
+	// LatencyMs, PowerMW, AreaMM2 are the PPA of the best mapping found.
+	LatencyMs, PowerMW, AreaMM2 float64
+	// Sensitivity is the robustness metric R (smaller = more robust).
+	Sensitivity float64
+}
+
+// Result is the outcome of a co-optimization run.
+type Result struct {
+	// Front is the feasible Pareto front over (latency, power, area).
+	Front []Design
+	// Best is the min-Euclidean-distance representative of the front.
+	Best Design
+	// SimulatedHours is the search cost on the simulated clock (the
+	// paper's Cost(h) columns).
+	SimulatedHours float64
+	// Evaluations is the number of mapping budget units spent.
+	Evaluations int
+}
+
+// Optimize runs the selected co-optimization method on the platform.
+func Optimize(p *Platform, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("unico: nil platform")
+	}
+	cfg = cfg.normalize()
+	clock := &simclock.Clock{}
+	var res core.Result
+	switch cfg.Method {
+	case MethodUNICO:
+		opt := core.UNICOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
+		opt.UseRobustness = !cfg.DisableRobustness
+		opt.Workers = cfg.Workers
+		opt.Clock = clock
+		opt.TimeBudgetHours = cfg.TimeBudgetHours
+		res = core.Run(p.inner, opt)
+	case MethodHASCO:
+		res = baselines.HASCO(p.inner, cfg.BatchSize, cfg.Iterations, cfg.BudgetMax,
+			cfg.Seed, clock, cfg.TimeBudgetHours)
+	case MethodMOBOHB:
+		opt := baselines.MOBOHBOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
+		opt.Workers = cfg.Workers
+		opt.Clock = clock
+		opt.TimeBudgetHours = cfg.TimeBudgetHours
+		res = core.Run(p.inner, opt)
+	case MethodNSGAII:
+		res = baselines.NSGAII(p.inner, baselines.NSGAIIOptions{
+			Pop:             cfg.BatchSize,
+			Generations:     cfg.Iterations,
+			BMax:            cfg.BudgetMax,
+			Workers:         cfg.Workers,
+			Seed:            cfg.Seed,
+			Clock:           clock,
+			TimeBudgetHours: cfg.TimeBudgetHours,
+		})
+	default:
+		return nil, fmt.Errorf("unico: unknown method %v", cfg.Method)
+	}
+
+	out := &Result{SimulatedHours: res.Hours, Evaluations: res.Evals}
+	for _, c := range res.Front {
+		out.Front = append(out.Front, design(p, c))
+	}
+	if rep, ok := core.Representative(res.Front); ok {
+		out.Best = design(p, rep)
+	}
+	return out, nil
+}
+
+func design(p *Platform, c core.Candidate) Design {
+	return Design{
+		HW:          p.inner.Describe(c.X),
+		X:           c.X,
+		LatencyMs:   c.Metrics.LatencyMs,
+		PowerMW:     c.Metrics.PowerMW,
+		AreaMM2:     c.Metrics.AreaMM2,
+		Sensitivity: c.Sensitivity,
+	}
+}
+
+// EvaluateOn runs an individual software-mapping search for an existing
+// design on a (possibly unseen) network and returns the achieved PPA — the
+// validation procedure of the paper's generalization studies.
+func EvaluateOn(p *Platform, d Design, budget int, seed int64) (Design, error) {
+	if budget <= 0 {
+		budget = 300
+	}
+	job := p.inner.NewJob(d.X, seed)
+	job.Advance(budget)
+	met, ok := job.Best()
+	if !ok {
+		return Design{}, fmt.Errorf("unico: no feasible mapping for %s on this platform", d.HW)
+	}
+	return Design{
+		HW: d.HW, X: d.X,
+		LatencyMs: met.LatencyMs, PowerMW: met.PowerMW, AreaMM2: met.AreaMM2,
+	}, nil
+}
