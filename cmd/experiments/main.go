@@ -16,18 +16,48 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 
 	"unico/internal/experiments"
 	"unico/internal/hw"
+	"unico/internal/telemetry"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment id: all,table1,table2,fig7,fig8,fig9,fig10,fig11")
 	scale := flag.String("scale", "small", "paper | small")
 	seed := flag.Int64("seed", 0, "override the scale's seed (0 keeps default)")
+	traceFile := flag.String("trace", "", "write search events of every run as Chrome-trace JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	progress := flag.Bool("progress", false, "print per-iteration convergence of every run to stderr")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		telemetry.ServeDebug(*metricsAddr, nil, func(err error) {
+			log.Printf("experiments: metrics server: %v", err)
+		})
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr := telemetry.NewTracer(f)
+		defer tr.Flush()
+		// The runners construct their own core.Options deep inside; the
+		// process-wide fallback tracer reaches them all.
+		telemetry.SetDefaultTracer(tr)
+	}
+	if *progress {
+		telemetry.SetDefaultProgress(func(p telemetry.SearchProgress) {
+			fmt.Fprintf(os.Stderr, "iter %3d  sim %7.2f h  hv %.4g  front %d  evals %d\n",
+				p.Iter, p.SimHours, p.Hypervolume, p.FrontSize, p.Evals)
+		})
+	}
 
 	var s experiments.Scale
 	switch *scale {

@@ -8,27 +8,74 @@
 //
 // Endpoints:
 //
-//	POST /v1/ppa           evaluate one (hardware, mapping, layer) triple
-//	POST /v1/jobs          create a mapping-search job
-//	POST /v1/jobs/advance  spend budget on a job
-//	GET  /v1/healthz       liveness probe
+//	POST   /v1/ppa           evaluate one (hardware, mapping, layer) triple
+//	POST   /v1/jobs          create a mapping-search job
+//	POST   /v1/jobs/advance  spend budget on a job
+//	DELETE /v1/jobs/{id}     release a finished job
+//	GET    /v1/healthz       liveness probe
+//	GET    /metrics          Prometheus text-format metrics
+//	GET    /debug/vars       expvar JSON
+//	GET    /debug/pprof/     runtime profiles
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"unico/internal/dist"
+	"unico/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+		"how long to drain in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	srv := dist.NewServer()
-	log.Printf("ppaserver: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	mux := http.NewServeMux()
+	mux.Handle("/", dist.NewServer().Handler())
+	debug := telemetry.DebugMux(telemetry.DefaultRegistry)
+	mux.Handle("GET /metrics", debug)
+	mux.Handle("GET /debug/", debug)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ppaserver: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatalf("ppaserver: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("ppaserver: shutdown signal received, draining for up to %s", *shutdownGrace)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("ppaserver: forced shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("ppaserver: %v", err)
+		}
+		log.Printf("ppaserver: stopped")
 	}
 }

@@ -13,10 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"math"
 	"os"
 	"strings"
 
 	"unico"
+	"unico/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +35,18 @@ func main() {
 		noR      = flag.Bool("no-robustness", false, "drop the sensitivity objective R")
 		list     = flag.Bool("list", false, "list available networks and exit")
 		jsonNets = flag.String("workload-json", "", "comma-separated JSON workload files (overrides -networks)")
+
+		traceFile   = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		progress    = flag.Bool("progress", false, "print per-iteration convergence to stderr")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		telemetry.ServeDebug(*metricsAddr, nil, func(err error) {
+			log.Printf("unico: metrics server: %v", err)
+		})
+	}
 
 	if *list {
 		for _, n := range unico.Networks() {
@@ -89,7 +102,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := unico.Optimize(p, unico.Config{
+	cfg := unico.Config{
 		Method:            m,
 		BatchSize:         *batch,
 		Iterations:        *iters,
@@ -97,7 +110,28 @@ func main() {
 		Workers:           *workers,
 		Seed:              *seed,
 		DisableRobustness: *noR,
-	})
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unico:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
+	if *progress {
+		cfg.Progress = func(p unico.IterationProgress) {
+			uul := "inf"
+			if !math.IsInf(p.UUL, 0) {
+				uul = fmt.Sprintf("%.4f", p.UUL)
+			}
+			fmt.Fprintf(os.Stderr, "iter %3d  sim %7.2f h  hv %.4g  uul %s  front %d  evals %d\n",
+				p.Iter, p.SimHours, p.Hypervolume, uul, p.FrontSize, p.Evaluations)
+		}
+	}
+
+	res, err := unico.Optimize(p, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unico:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ import (
 	"unico/internal/hw"
 	"unico/internal/mapping"
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 	"unico/internal/workload"
 )
 
@@ -87,8 +88,23 @@ type engineState struct {
 	dmaA, dmaB, cube, vec, dmaOut float64
 }
 
+// evalCount and evalInfeasible meter the simulator's hot path.
+var (
+	evalCount      = telemetry.PPAEvals("camodel")
+	evalInfeasible = telemetry.PPAInfeasible("camodel")
+)
+
 // Evaluate simulates one layer under schedule m on core c.
 func (e Engine) Evaluate(c hw.Ascend, m mapping.Ascend, l workload.Layer) (ppa.Metrics, error) {
+	evalCount.Inc()
+	met, err := e.evaluate(c, m, l)
+	if err != nil && errors.Is(err, ErrInfeasible) {
+		evalInfeasible.Inc()
+	}
+	return met, err
+}
+
+func (e Engine) evaluate(c hw.Ascend, m mapping.Ascend, l workload.Layer) (ppa.Metrics, error) {
 	if err := l.Validate(); err != nil {
 		return ppa.Metrics{}, err
 	}

@@ -24,6 +24,7 @@ import (
 	"unico/internal/robust"
 	"unico/internal/sh"
 	"unico/internal/simclock"
+	"unico/internal/telemetry"
 )
 
 // Platform abstracts an accelerator platform for the co-optimizer: its
@@ -79,7 +80,24 @@ type Options struct {
 	TimeBudgetHours float64
 	// Alpha is the robustness sub-optimal percentile (default 0.05).
 	Alpha float64
+	// Tracer receives search events as Chrome-trace spans; nil falls back
+	// to telemetry.DefaultTracer() (nil = tracing off, zero overhead).
+	// Tracing never influences the search: results are bit-identical with
+	// and without it.
+	Tracer *telemetry.Tracer
+	// Progress, if non-nil, is invoked after every MOBO iteration with the
+	// convergence snapshot of that moment (hypervolume, UUL, front size,
+	// simulated hours). The process-wide telemetry.EmitProgress sink fires
+	// regardless.
+	Progress ProgressFunc
 }
+
+// Progress is the per-iteration convergence snapshot delivered to
+// Options.Progress.
+type Progress = telemetry.SearchProgress
+
+// ProgressFunc consumes per-iteration progress reports.
+type ProgressFunc = telemetry.ProgressFunc
 
 func (o Options) normalize() Options {
 	if o.BatchSize <= 0 {
@@ -180,6 +198,10 @@ var penaltyMetrics = ppa.Metrics{
 // Run executes Algorithm 1 on the platform.
 func Run(p Platform, opt Options) Result {
 	opt = opt.normalize()
+	tr := opt.Tracer
+	if tr == nil {
+		tr = telemetry.DefaultTracer()
+	}
 	nObj := 3
 	if opt.UseRobustness {
 		nObj = 4
@@ -196,6 +218,7 @@ func Run(p Platform, opt Options) Result {
 		Workers:         opt.Workers,
 		EvalCostSeconds: p.EvalCostSeconds(),
 		Clock:           opt.Clock,
+		Tracer:          tr,
 	}
 	if opt.DisableSH {
 		// Degenerate schedule: everyone runs to full budget in one round.
@@ -208,8 +231,12 @@ func Run(p Platform, opt Options) Result {
 		if opt.TimeBudgetHours > 0 && opt.Clock.Hours() >= opt.TimeBudgetHours {
 			break
 		}
+		iterSpan := tr.StartSpan("mobo_iteration", "core", 0, opt.Clock.Seconds())
+		suggestSpan := tr.StartSpan("suggest_batch", "mobo", 0, opt.Clock.Seconds())
 		xs := explorer.SuggestBatch(opt.BatchSize)
+		suggestSpan.End(opt.Clock.Seconds(), map[string]any{"batch": len(xs)})
 		if len(xs) == 0 {
+			iterSpan.End(opt.Clock.Seconds(), map[string]any{"iter": iter, "exhausted": true})
 			break
 		}
 		jobs := make([]mapsearch.Searcher, len(xs))
@@ -241,10 +268,15 @@ func Run(p Platform, opt Options) Result {
 			res.All = append(res.All, cand)
 			obs[i] = mobo.Observation{X: x, Y: NormalizeObjectives(cand.Objectives(opt.UseRobustness))}
 		}
-		explorer.Update(obs)
+		closeJobs(jobs)
+		fitSpan := tr.StartSpan("gp_fit", "mobo", 0, opt.Clock.Seconds())
+		admitted := explorer.Update(obs)
 		// Surrogate refit overhead on the master (paper Fig. 6b): seconds,
 		// negligible next to PPA evaluation but accounted for.
 		opt.Clock.Advance(5)
+		fitSpan.End(opt.Clock.Seconds(), map[string]any{
+			"admitted": admitted, "train": explorer.TrainSize(),
+		})
 
 		res.Front = paretoFront(res.All)
 		res.Trace = append(res.Trace, TracePoint{
@@ -252,9 +284,69 @@ func Run(p Platform, opt Options) Result {
 			Hours:    opt.Clock.Hours(),
 			FrontPPA: frontPPA(res.Front),
 		})
+		telemetry.MOBOIterations().Inc()
+
+		hvSpan := tr.StartSpan("hypervolume", "core", 0, opt.Clock.Seconds())
+		hv := runningHypervolume(res.Front)
+		hvSpan.End(opt.Clock.Seconds(), map[string]any{"hv": hv, "front": len(res.Front)})
+		prog := Progress{
+			Iter:        iter,
+			SimHours:    opt.Clock.Hours(),
+			Hypervolume: hv,
+			UUL:         explorer.UUL(),
+			FrontSize:   len(res.Front),
+			Evals:       res.Evals,
+			Admitted:    admitted,
+		}
+		if opt.Progress != nil {
+			opt.Progress(prog)
+		}
+		telemetry.EmitProgress(prog)
+		iterSpan.End(opt.Clock.Seconds(), map[string]any{
+			"iter": iter, "front": len(res.Front), "evals": res.Evals, "hv": hv,
+		})
 	}
 	res.Hours = opt.Clock.Hours()
 	return res
+}
+
+// closeJobs releases jobs that hold external resources (remote jobs delete
+// their worker-side state so worker memory does not grow with search
+// length); local searchers implement no Close and are skipped.
+func closeJobs(jobs []mapsearch.Searcher) {
+	for _, j := range jobs {
+		if c, ok := j.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+	}
+}
+
+// runningHypervolume is the live convergence signal reported to Progress:
+// the feasible front's hypervolume against a running nadir reference
+// (componentwise max of the front's PPA points, ×1.1). The reference moves
+// as the front grows, so the value is comparable within a run but not
+// across runs — the offline curves of internal/experiments fix a common
+// reference instead.
+func runningHypervolume(front []Candidate) float64 {
+	if len(front) == 0 {
+		return 0
+	}
+	pts := frontPPA(front)
+	ref := make([]float64, len(pts[0]))
+	for _, p := range pts {
+		for j, v := range p {
+			if v > ref[j] {
+				ref[j] = v
+			}
+		}
+	}
+	for j := range ref {
+		ref[j] *= 1.1
+		if ref[j] <= 0 {
+			ref[j] = 1e-9
+		}
+	}
+	return pareto.Hypervolume(pts, ref)
 }
 
 // runFullBudget advances every job to BMax with the configured parallelism,
@@ -263,6 +355,10 @@ func runFullBudget(jobs []mapsearch.Searcher, cfg sh.Config) sh.Outcome {
 	// A single-round schedule: reuse sh.Run with one round by passing a
 	// candidate list it cannot halve. sh.Run computes rounds from N, so we
 	// instead advance directly.
+	simStart := 0.0
+	if cfg.Clock != nil {
+		simStart = cfg.Clock.Seconds()
+	}
 	total := 0
 	for _, j := range jobs {
 		j.Advance(cfg.BMax)
@@ -270,6 +366,15 @@ func runFullBudget(jobs []mapsearch.Searcher, cfg sh.Config) sh.Outcome {
 	}
 	if cfg.Clock != nil && len(jobs) > 0 {
 		cfg.Clock.AdvanceParallel(len(jobs), float64(cfg.BMax)*cfg.EvalCostSeconds, cfg.Workers)
+	}
+	if cfg.Tracer != nil && cfg.Clock != nil {
+		simEnd := cfg.Clock.Seconds()
+		cfg.Tracer.Complete("full_budget_round", "sh", 0, simStart, simEnd,
+			map[string]any{"candidates": len(jobs), "budget": cfg.BMax})
+		for i := range jobs {
+			cfg.Tracer.Complete("candidate_eval", "sh", int64(i+1), simStart, simEnd,
+				map[string]any{"candidate": i, "budget": cfg.BMax})
+		}
 	}
 	hist := make([]ppa.History, len(jobs))
 	surv := make([]int, len(jobs))

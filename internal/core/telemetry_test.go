@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"unico/internal/telemetry"
+)
+
+// TestProgressFiresPerIteration asserts the Progress callback fires exactly
+// once per MOBO iteration, in order, with monotone non-decreasing simulated
+// hours and internally consistent fields.
+func TestProgressFiresPerIteration(t *testing.T) {
+	var reports []Progress
+	opt := smallOpts(3)
+	opt.Progress = func(p Progress) { reports = append(reports, p) }
+	res := Run(testPlatform(), opt)
+
+	if len(reports) != len(res.Trace) {
+		t.Fatalf("progress fired %d times, trace has %d iterations", len(reports), len(res.Trace))
+	}
+	prevHours := 0.0
+	for i, p := range reports {
+		if p.Iter != i+1 {
+			t.Errorf("report %d has Iter=%d, want %d", i, p.Iter, i+1)
+		}
+		if p.SimHours < prevHours {
+			t.Errorf("simulated hours decreased at iter %d: %v < %v", p.Iter, p.SimHours, prevHours)
+		}
+		prevHours = p.SimHours
+		if p.FrontSize < 0 || p.Hypervolume < 0 {
+			t.Errorf("iter %d: negative front size or hypervolume: %+v", p.Iter, p)
+		}
+		if p.Evals <= 0 {
+			t.Errorf("iter %d: no evaluations reported", p.Iter)
+		}
+	}
+	last := reports[len(reports)-1]
+	if last.Evals != res.Evals {
+		t.Errorf("final progress evals = %d, result evals = %d", last.Evals, res.Evals)
+	}
+	if math.Abs(last.SimHours-res.Hours) > 1e-9 {
+		t.Errorf("final progress hours = %v, result hours = %v", last.SimHours, res.Hours)
+	}
+	if last.FrontSize != len(res.Front) {
+		t.Errorf("final progress front = %d, result front = %d", last.FrontSize, len(res.Front))
+	}
+}
+
+// TestTelemetryPreservesDeterminism is the acceptance criterion: a run with
+// tracer and progress enabled must be bit-identical to the same seed run
+// with both disabled.
+func TestTelemetryPreservesDeterminism(t *testing.T) {
+	plain := Run(testPlatform(), smallOpts(11))
+
+	var buf bytes.Buffer
+	opt := smallOpts(11)
+	opt.Tracer = telemetry.NewTracer(&buf)
+	opt.Progress = func(Progress) {}
+	traced := Run(testPlatform(), opt)
+	opt.Tracer.Flush()
+
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("tracing/progress changed the search result")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("tracer captured no events")
+	}
+}
+
+// TestRunEmitsExpectedSpans checks the trace stream contains the span
+// vocabulary the ISSUE promises (MOBO iterations, SH rungs, candidate
+// evals, GP fits, HV computations) with simulated-time stamps.
+func TestRunEmitsExpectedSpans(t *testing.T) {
+	var buf bytes.Buffer
+	opt := smallOpts(5)
+	opt.Tracer = telemetry.NewTracer(&buf)
+	res := Run(testPlatform(), opt)
+	opt.Tracer.Flush()
+
+	type ev struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Args map[string]any `json:"args"`
+	}
+	count := map[string]int{}
+	maxTS := 0.0
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var e ev
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad trace line: %v\n%s", err, line)
+		}
+		count[e.Name]++
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+	}
+	for _, want := range []string{"mobo_iteration", "sh_rung", "candidate_eval", "gp_fit", "hypervolume", "suggest_batch"} {
+		if count[want] == 0 {
+			t.Errorf("no %q spans in trace; got %v", want, count)
+		}
+	}
+	if count["mobo_iteration"] != len(res.Trace) {
+		t.Errorf("mobo_iteration spans = %d, iterations = %d", count["mobo_iteration"], len(res.Trace))
+	}
+	// Simulated timestamps should reach the run's simulated span (µs).
+	if wantUS := res.Hours * 3600 * 1e6; maxTS < wantUS/2 {
+		t.Errorf("max trace ts %v µs is far below the simulated run length %v µs", maxTS, wantUS)
+	}
+}

@@ -78,6 +78,27 @@ func (c *Client) AdvanceJob(id string, budget int) (JobState, error) {
 	return state, nil
 }
 
+// DeleteJob releases a finished job's state on the worker.
+func (c *Client) DeleteJob(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return fmt.Errorf("dist: delete job %s: %w", id, err)
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: delete job %s: %w", id, err)
+	}
+	defer httpResp.Body.Close()
+	var resp JobDeleteResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("dist: decode delete %s: %w", id, err)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("dist: delete job %s: %s", id, resp.Error)
+	}
+	return nil
+}
+
 // Healthy reports whether the worker answers its health endpoint.
 func (c *Client) Healthy() bool {
 	resp, err := c.hc.Get(c.base + "/v1/healthz")
@@ -96,6 +117,7 @@ type remoteJob struct {
 	id     string
 	state  JobState
 	err    error
+	closed bool
 }
 
 // NewRemoteJob creates a job on the worker and returns its master-side
@@ -142,3 +164,14 @@ func (j *remoteJob) Best() (ppa.Metrics, bool) {
 
 // Err returns the latched transport error, if any.
 func (j *remoteJob) Err() error { return j.err }
+
+// Close deletes the job's worker-side state. The co-optimizer calls it once
+// a candidate's search is complete, so worker memory stays bounded by the
+// in-flight batch. Idempotent; the last-seen state remains readable.
+func (j *remoteJob) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.client.DeleteJob(j.id)
+}

@@ -127,6 +127,79 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+func TestJobDelete(t *testing.T) {
+	_, c := newWorker(t)
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 6, PEY: 6, L1Bytes: 1728, L2KB: 432, NoCBW: 128})
+	id, err := c.CreateJob(JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteJob(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AdvanceJob(id, 1); err == nil {
+		t.Error("deleted job still advanceable")
+	}
+	if err := c.DeleteJob(id); err == nil {
+		t.Error("double delete not reported")
+	}
+	if err := c.DeleteJob("job-999"); err == nil {
+		t.Error("unknown job delete not reported")
+	}
+}
+
+func TestServerReleasesJobsAfterRun(t *testing.T) {
+	// The co-optimizer closes remote jobs once a candidate is scored, so a
+	// worker's job map stays empty between batches instead of growing for
+	// the lifetime of the search (the leak this route was added to fix).
+	s := NewServer()
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, srv.Client())
+
+	p, err := NewRemoteSpatialPlatform([]*Client{c}, hw.Edge, []string{"MobileNetV3-S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.UNICOOptions(3, 2, 8, 9)
+	opt.Workers = 2
+	res := core.Run(p, opt)
+	if len(res.All) == 0 {
+		t.Fatal("no candidates evaluated")
+	}
+	if got := s.JobCount(); got != 0 {
+		t.Errorf("worker still holds %d jobs after the run", got)
+	}
+}
+
+func TestRemoteJobCloseIdempotent(t *testing.T) {
+	_, c := newWorker(t)
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+	job, err := NewRemoteJob(c, JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Advance(2)
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+	// Last-seen state stays readable after close.
+	if job.Spent() != 2 {
+		t.Errorf("Spent after close = %d, want 2", job.Spent())
+	}
+}
+
 func TestJobSpecValidation(t *testing.T) {
 	_, c := newWorker(t)
 	cases := []JobSpec{

@@ -60,6 +60,13 @@ type JobCreateResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// JobDeleteResponse acknowledges a job deletion.
+type JobDeleteResponse struct {
+	ID      string `json:"id"`
+	Deleted bool   `json:"deleted"`
+	Error   string `json:"error,omitempty"`
+}
+
 // AdvanceRequest spends more budget on an existing job.
 type AdvanceRequest struct {
 	ID     string `json:"id"`

@@ -8,11 +8,14 @@ import (
 	"strconv"
 	"sync"
 
+	"strings"
+
 	"unico/internal/camodel"
 	"unico/internal/hw"
 	"unico/internal/maestro"
 	"unico/internal/mapsearch"
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 	"unico/internal/workload"
 )
 
@@ -37,21 +40,39 @@ func NewServer() *Server {
 	return &Server{jobs: map[string]*serverJob{}}
 }
 
-// Handler returns the HTTP handler exposing the worker API:
+// Handler returns the HTTP handler exposing the worker API, wrapped in the
+// telemetry middleware (request counts, latency histograms, in-flight gauge
+// in telemetry.DefaultRegistry):
 //
-//	POST /v1/ppa          evaluate one (hw, mapping, layer) triple
-//	POST /v1/jobs         create a mapping-search job
-//	POST /v1/jobs/advance spend budget on a job
-//	GET  /v1/healthz      liveness probe
+//	POST   /v1/ppa          evaluate one (hw, mapping, layer) triple
+//	POST   /v1/jobs         create a mapping-search job
+//	POST   /v1/jobs/advance spend budget on a job
+//	DELETE /v1/jobs/{id}    release a finished job's server-side state
+//	GET    /v1/healthz      liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ppa", s.handlePPA)
 	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	mux.HandleFunc("POST /v1/jobs/advance", s.handleAdvance)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return telemetry.InstrumentHandler(telemetry.DefaultRegistry, routeLabel, mux)
+}
+
+// routeLabel folds per-job paths into one route and any unregistered path
+// into "other", so the metric label set stays bounded no matter how many
+// jobs a search creates or what paths a scanner probes.
+func routeLabel(r *http.Request) string {
+	if p, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs/"); ok && p != "" && p != "advance" {
+		return "/v1/jobs/{id}"
+	}
+	switch r.URL.Path {
+	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz":
+		return r.URL.Path
+	}
+	return "other"
 }
 
 func (s *Server) handlePPA(w http.ResponseWriter, r *http.Request) {
@@ -109,8 +130,34 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := "job-" + strconv.Itoa(s.nextID)
 	s.jobs[id] = &serverJob{searcher: searcher}
+	telemetry.DistJobs().Set(float64(len(s.jobs)))
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, JobCreateResponse{ID: id})
+}
+
+// handleDeleteJob frees a job's server-side state. Masters call it when the
+// co-optimizer is done with a candidate, so worker memory stays bounded by
+// the in-flight batch instead of growing with the whole search (the jobs
+// map never shrank before this route existed).
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	delete(s.jobs, id)
+	telemetry.DistJobs().Set(float64(len(s.jobs)))
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, JobDeleteResponse{ID: id, Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, JobDeleteResponse{ID: id, Deleted: true})
+}
+
+// JobCount returns how many jobs the worker currently holds.
+func (s *Server) JobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
 }
 
 // buildSearcher materializes the job's network searcher from the spec.

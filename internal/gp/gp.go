@@ -15,7 +15,12 @@ import (
 	"math"
 
 	"unico/internal/linalg"
+	"unico/internal/telemetry"
 )
+
+// fitCount counts surrogate fits process-wide (one per FitAuto call, not
+// per grid point, so it tracks the number of refit decisions).
+var fitCount = telemetry.GPFits()
 
 // Kernel is a positive-definite covariance function on R^d.
 type Kernel interface {
@@ -120,6 +125,7 @@ func FitAuto(x [][]float64, y []float64) (*GP, error) {
 	if len(x) == 0 {
 		return nil, ErrNoData
 	}
+	fitCount.Inc()
 	lengthscales := []float64{0.08, 0.15, 0.3, 0.6, 1.2}
 	noises := []float64{1e-4, 1e-2, 5e-2}
 	var best *GP

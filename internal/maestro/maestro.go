@@ -29,6 +29,7 @@ import (
 	"unico/internal/hw"
 	"unico/internal/mapping"
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 	"unico/internal/workload"
 )
 
@@ -143,10 +144,20 @@ type Report struct {
 	EnergyPJ map[string]float64
 }
 
+// evalCount and evalInfeasible meter the engine's hot path.
+var (
+	evalCount      = telemetry.PPAEvals("maestro")
+	evalInfeasible = telemetry.PPAInfeasible("maestro")
+)
+
 // Evaluate returns the PPA of running one layer with mapping m on hardware c.
 func (e Engine) Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error) {
+	evalCount.Inc()
 	rep, err := e.Explain(c, m, l)
 	if err != nil {
+		if errors.Is(err, ErrInfeasible) {
+			evalInfeasible.Inc()
+		}
 		return ppa.Metrics{}, err
 	}
 	return rep.Metrics, nil

@@ -4,7 +4,12 @@ import (
 	"math"
 
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 )
+
+// stepCount is the global layer-step counter (one increment per
+// LayerSearcher.Step across every concurrent search).
+var stepCount = telemetry.MapSearchSteps()
 
 // PenaltyLoss is the finite loss recorded while a network has no feasible
 // mapping yet (or a hardware configuration admits none at all). Finite so
@@ -98,6 +103,9 @@ func NewNetworkSearcher(layers []LayerSearcher, repeats []int, weights []float64
 
 // Advance spends budget more units (budget × len(layers) layer steps).
 func (n *NetworkSearcher) Advance(budget int) {
+	if budget > 0 {
+		stepCount.Add(uint64(budget) * uint64(len(n.layers)))
+	}
 	for u := 0; u < budget; u++ {
 		if n.spent == 0 {
 			// Bootstrap pass: every layer evaluates its first (seed)

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"unico/internal/gp"
+	"unico/internal/telemetry"
 )
 
 // Space abstracts a finite hardware design space embedded in the unit
@@ -391,6 +392,9 @@ func (o *Optimizer) Update(batch []Observation) int {
 	o.train = append(o.train, admitted...)
 	o.evictStale()
 	o.fit()
+	telemetry.MOBOAdmitted().Add(uint64(len(admitted)))
+	telemetry.MOBOTrainSize().Set(float64(len(o.train)))
+	telemetry.MOBOUUL().Set(o.uul)
 	return len(admitted)
 }
 

@@ -17,6 +17,7 @@ import (
 	"unico/internal/mapsearch"
 	"unico/internal/ppa"
 	"unico/internal/simclock"
+	"unico/internal/telemetry"
 )
 
 // Config parameterizes a successive-halving run.
@@ -39,6 +40,9 @@ type Config struct {
 	EvalCostSeconds float64
 	// Clock, if non-nil, accrues the simulated wall-clock cost.
 	Clock *simclock.Clock
+	// Tracer, if non-nil, records one span per rung and per advanced
+	// candidate (nil = off; tracing never affects scheduling decisions).
+	Tracer *telemetry.Tracer
 }
 
 // Default returns the paper's MSH configuration.
@@ -112,17 +116,20 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 	totalEvals := 0
 	for r := 0; r < rounds; r++ {
 		target := cumBudget[r]
+		simStart := simNow(cfg.Clock)
 		// Advance all alive candidates to the round's cumulative budget, in
 		// parallel; charge the makespan to the simulated clock.
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, cfg.Workers)
 		delta := 0
+		advanced := make([]int, 0, len(alive))
 		for _, ji := range alive {
 			d := target - jobs[ji].Spent()
 			if d <= 0 {
 				continue
 			}
 			delta += d
+			advanced = append(advanced, ji)
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(j mapsearch.Searcher, d int) {
@@ -139,10 +146,27 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 			perCand := float64(delta) / float64(len(alive)) * cfg.EvalCostSeconds
 			cfg.Clock.AdvanceParallel(len(alive), perCand, cfg.Workers)
 		}
+		if cfg.Tracer != nil {
+			simEnd := simNow(cfg.Clock)
+			for _, ji := range advanced {
+				cfg.Tracer.Complete("candidate_eval", "sh", int64(ji+1), simStart, simEnd,
+					map[string]any{"candidate": ji, "spent": jobs[ji].Spent()})
+			}
+		}
 		if r == rounds-1 {
+			telemetry.SHRungs().Inc()
+			telemetry.SHSurvivors().Set(float64(len(alive)))
+			cfg.Tracer.Complete("sh_rung", "sh", 0, simStart, simNow(cfg.Clock), map[string]any{
+				"rung": r + 1, "budget": target, "alive": len(alive), "evals": delta,
+			})
 			break
 		}
 		alive = Promote(jobs, alive, cfg)
+		telemetry.SHRungs().Inc()
+		telemetry.SHSurvivors().Set(float64(len(alive)))
+		cfg.Tracer.Complete("sh_rung", "sh", 0, simStart, simNow(cfg.Clock), map[string]any{
+			"rung": r + 1, "budget": target, "alive": len(alive), "evals": delta,
+		})
 		if len(alive) <= 1 {
 			// Run the lone survivor to full budget.
 			last := rounds - 1
@@ -228,6 +252,14 @@ func terminalValue(j mapsearch.Searcher) float64 {
 // inflate it.
 func auc(j mapsearch.Searcher) float64 {
 	return mapsearch.Feasible(j.History()).AUC()
+}
+
+// simNow reads the simulated clock (0 when no clock is attached).
+func simNow(c *simclock.Clock) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.Seconds()
 }
 
 func (c Config) String() string {

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the response status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// codeClass folds a status code into its Prometheus-friendly class
+// ("2xx", "4xx", ...).
+func codeClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// InstrumentHandler wraps h with per-route HTTP server metrics in reg:
+//
+//	unico_http_requests_total{route,method,code}   request counter
+//	unico_http_request_seconds_*{route}            latency histogram
+//	unico_http_inflight                            in-flight gauge
+//
+// route normalizes a request to its route label (so path parameters do not
+// explode cardinality); nil uses the raw URL path.
+func InstrumentHandler(reg *Registry, route func(*http.Request) string, h http.Handler) http.Handler {
+	if reg == nil {
+		reg = DefaultRegistry
+	}
+	if route == nil {
+		route = func(r *http.Request) string { return r.URL.Path }
+	}
+	inflight := reg.Gauge("unico_http_inflight",
+		"HTTP requests currently being served.", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := route(r)
+		inflight.Inc()
+		defer inflight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		reg.Counter("unico_http_requests_total", "HTTP requests by route, method and status class.",
+			Labels{"route": rt, "method": r.Method, "code": codeClass(rec.code)}).Inc()
+		reg.Histogram("unico_http_request_seconds", "HTTP request latency by route.",
+			nil, Labels{"route": rt}).Observe(elapsed)
+	})
+}
+
+// DebugMux returns a mux exposing the standard observability endpoints:
+//
+//	GET /metrics       Prometheus text format (reg; nil = DefaultRegistry)
+//	GET /debug/vars    expvar JSON (includes the registry snapshot)
+//	GET /debug/pprof/  runtime profiles
+func DebugMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = DefaultRegistry
+	}
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts a background HTTP server exposing DebugMux on addr —
+// the sidecar metrics listener of the CLIs' -metrics-addr flag. Errors are
+// reported through errf (may be nil) rather than failing the main program.
+func ServeDebug(addr string, reg *Registry, errf func(error)) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           DebugMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records search events as Chrome trace_event objects, one JSON
+// object per line (JSONL). Each line is a complete "X" (complete span) or
+// "i" (instant) event whose timeline (ts/dur, microseconds) runs on the
+// *simulated* clock, so a multi-hour co-search renders at its true simulated
+// proportions in a trace viewer; the real elapsed milliseconds ride along in
+// args.real_ms. `jq -s . trace.jsonl` converts the stream to the JSON-array
+// form chrome://tracing and Perfetto ingest directly.
+//
+// A nil *Tracer is a valid disabled tracer: every method no-ops, which is
+// the zero-overhead fast path the instrumented packages rely on.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+}
+
+// traceEvent is one Chrome trace_event object.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer writing JSONL events to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	t := &Tracer{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+	t.emit(traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "unico co-search (simulated time)"},
+	})
+	return t
+}
+
+func (t *Tracer) emit(ev traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(ev) // Encode appends the newline: one event per line
+}
+
+// Span is an in-flight span started by StartSpan. A nil *Span no-ops.
+type Span struct {
+	t         *Tracer
+	name, cat string
+	tid       int64
+	simStart  float64
+	realStart time.Time
+}
+
+// StartSpan opens a span at simulated time simSec (seconds) on the virtual
+// thread tid. Returns nil — still safe to End — when the tracer is nil.
+func (t *Tracer) StartSpan(name, cat string, tid int64, simSec float64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, cat: cat, tid: tid, simStart: simSec, realStart: time.Now()}
+}
+
+// End closes the span at simulated time simSec, attaching args (real
+// elapsed milliseconds and the simulated end time in hours are added).
+func (s *Span) End(simSec float64, args map[string]any) {
+	if s == nil {
+		return
+	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["real_ms"] = float64(time.Since(s.realStart)) / float64(time.Millisecond)
+	args["sim_hours"] = simSec / 3600
+	dur := (simSec - s.simStart) * 1e6
+	if dur < 0 {
+		dur = 0
+	}
+	s.t.emit(traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.simStart * 1e6, Dur: dur,
+		PID: 1, TID: s.tid, Args: args,
+	})
+}
+
+// Complete records a whole span in one call, for work whose simulated
+// bounds are known only after the fact (e.g. per-candidate evaluations
+// inside a parallel rung).
+func (t *Tracer) Complete(name, cat string, tid int64, simStartSec, simEndSec float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["sim_hours"] = simEndSec / 3600
+	dur := (simEndSec - simStartSec) * 1e6
+	if dur < 0 {
+		dur = 0
+	}
+	t.emit(traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: simStartSec * 1e6, Dur: dur,
+		PID: 1, TID: tid, Args: args,
+	})
+}
+
+// Instant records a zero-duration event at simulated time simSec.
+func (t *Tracer) Instant(name, cat string, tid int64, simSec float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(traceEvent{
+		Name: name, Cat: cat, Ph: "i",
+		TS: simSec * 1e6, PID: 1, TID: tid, Args: args,
+	})
+}
+
+// Flush drains buffered events to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// defaultTracer is the process-wide fallback tracer the CLIs install so
+// deeply nested runners (cmd/experiments) trace without threading a handle
+// through every call signature. nil (the default) disables tracing.
+var defaultTracer atomic.Pointer[Tracer]
+
+// SetDefaultTracer installs (or, with nil, removes) the process-wide
+// fallback tracer.
+func SetDefaultTracer(t *Tracer) { defaultTracer.Store(t) }
+
+// DefaultTracer returns the process-wide fallback tracer (possibly nil —
+// nil is a valid disabled tracer).
+func DefaultTracer() *Tracer { return defaultTracer.Load() }
+
+// SearchProgress is one per-iteration progress report from a co-search:
+// the convergence signal of the paper's Fig. 7/10 curves, surfaced live.
+type SearchProgress struct {
+	// Iter is the MOBO iteration (1-based).
+	Iter int
+	// SimHours is the simulated search cost so far.
+	SimHours float64
+	// Hypervolume is the feasible front's hypervolume against the running
+	// nadir reference (componentwise max of all feasible PPA points ×1.1).
+	Hypervolume float64
+	// UUL is the current Upper Update Limit of the high-fidelity rule
+	// (+Inf until the first update).
+	UUL float64
+	// FrontSize is the feasible Pareto front size.
+	FrontSize int
+	// Evals is the cumulative mapping-evaluation budget spent.
+	Evals int
+	// Admitted is how many of this iteration's samples entered the
+	// surrogate training set.
+	Admitted int
+}
+
+// ProgressFunc consumes per-iteration progress reports.
+type ProgressFunc func(SearchProgress)
+
+var progressMu sync.RWMutex
+var defaultProgress ProgressFunc
+
+// SetDefaultProgress installs (or, with nil, removes) a process-wide
+// progress sink invoked in addition to any per-run callback.
+func SetDefaultProgress(fn ProgressFunc) {
+	progressMu.Lock()
+	defaultProgress = fn
+	progressMu.Unlock()
+}
+
+// EmitProgress forwards a report to the process-wide sink, if one is set.
+func EmitProgress(p SearchProgress) {
+	progressMu.RLock()
+	fn := defaultProgress
+	progressMu.RUnlock()
+	if fn != nil {
+		fn(p)
+	}
+}

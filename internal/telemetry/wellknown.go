@@ -1,0 +1,166 @@
+package telemetry
+
+import "sync"
+
+// Well-known global metrics of the co-optimizer, all living in
+// DefaultRegistry. Hot paths cache the returned pointers in package vars so
+// the registry lookup happens once per process.
+
+var (
+	ppaEvalsMu sync.Mutex
+	ppaEvals   = map[string]*Counter{}
+	ppaInfeas  = map[string]*Counter{}
+)
+
+// PPAEvals counts PPA-engine evaluations for one engine
+// ("maestro", "camodel", ...).
+func PPAEvals(engine string) *Counter {
+	ppaEvalsMu.Lock()
+	defer ppaEvalsMu.Unlock()
+	c := ppaEvals[engine]
+	if c == nil {
+		c = DefaultRegistry.Counter("unico_ppa_evals_total",
+			"PPA-engine evaluations by engine.", Labels{"engine": engine})
+		ppaEvals[engine] = c
+	}
+	return c
+}
+
+// PPAInfeasible counts PPA evaluations rejected as infeasible, per engine.
+func PPAInfeasible(engine string) *Counter {
+	ppaEvalsMu.Lock()
+	defer ppaEvalsMu.Unlock()
+	c := ppaInfeas[engine]
+	if c == nil {
+		c = DefaultRegistry.Counter("unico_ppa_infeasible_total",
+			"PPA evaluations rejected as infeasible, by engine.", Labels{"engine": engine})
+		ppaInfeas[engine] = c
+	}
+	return c
+}
+
+var (
+	mapStepsOnce sync.Once
+	mapSteps     *Counter
+)
+
+// MapSearchSteps counts software-mapping layer search steps.
+func MapSearchSteps() *Counter {
+	mapStepsOnce.Do(func() {
+		mapSteps = DefaultRegistry.Counter("unico_mapsearch_steps_total",
+			"Software-mapping layer search steps.", nil)
+	})
+	return mapSteps
+}
+
+var (
+	gpFitsOnce sync.Once
+	gpFits     *Counter
+)
+
+// GPFits counts Gaussian-process surrogate fits.
+func GPFits() *Counter {
+	gpFitsOnce.Do(func() {
+		gpFits = DefaultRegistry.Counter("unico_gp_fits_total",
+			"Gaussian-process surrogate fits.", nil)
+	})
+	return gpFits
+}
+
+var (
+	moboItersOnce sync.Once
+	moboIters     *Counter
+)
+
+// MOBOIterations counts completed MOBO outer iterations.
+func MOBOIterations() *Counter {
+	moboItersOnce.Do(func() {
+		moboIters = DefaultRegistry.Counter("unico_mobo_iterations_total",
+			"Completed MOBO outer iterations.", nil)
+	})
+	return moboIters
+}
+
+var (
+	moboAdmittedOnce sync.Once
+	moboAdmitted     *Counter
+)
+
+// MOBOAdmitted counts samples admitted to the surrogate training set.
+func MOBOAdmitted() *Counter {
+	moboAdmittedOnce.Do(func() {
+		moboAdmitted = DefaultRegistry.Counter("unico_mobo_admitted_total",
+			"Samples admitted to the surrogate training set.", nil)
+	})
+	return moboAdmitted
+}
+
+var (
+	moboTrainOnce sync.Once
+	moboTrain     *Gauge
+)
+
+// MOBOTrainSize gauges the surrogate training-set size.
+func MOBOTrainSize() *Gauge {
+	moboTrainOnce.Do(func() {
+		moboTrain = DefaultRegistry.Gauge("unico_mobo_train_size",
+			"Surrogate training-set size.", nil)
+	})
+	return moboTrain
+}
+
+var (
+	moboUULOnce sync.Once
+	moboUUL     *Gauge
+)
+
+// MOBOUUL gauges the current Upper Update Limit of the high-fidelity rule.
+func MOBOUUL() *Gauge {
+	moboUULOnce.Do(func() {
+		moboUUL = DefaultRegistry.Gauge("unico_mobo_uul",
+			"Current Upper Update Limit of the high-fidelity rule.", nil)
+	})
+	return moboUUL
+}
+
+var (
+	shRungsOnce sync.Once
+	shRungs     *Counter
+)
+
+// SHRungs counts successive-halving rungs executed.
+func SHRungs() *Counter {
+	shRungsOnce.Do(func() {
+		shRungs = DefaultRegistry.Counter("unico_sh_rungs_total",
+			"Successive-halving rungs executed.", nil)
+	})
+	return shRungs
+}
+
+var (
+	shSurvivorsOnce sync.Once
+	shSurvivors     *Gauge
+)
+
+// SHSurvivors gauges the candidates alive after the most recent rung.
+func SHSurvivors() *Gauge {
+	shSurvivorsOnce.Do(func() {
+		shSurvivors = DefaultRegistry.Gauge("unico_sh_rung_survivors",
+			"Candidates alive after the most recent successive-halving rung.", nil)
+	})
+	return shSurvivors
+}
+
+var (
+	distJobsOnce sync.Once
+	distJobs     *Gauge
+)
+
+// DistJobs gauges the mapping-search jobs currently held by a worker.
+func DistJobs() *Gauge {
+	distJobsOnce.Do(func() {
+		distJobs = DefaultRegistry.Gauge("unico_dist_jobs",
+			"Mapping-search jobs currently held by this worker.", nil)
+	})
+	return distJobs
+}

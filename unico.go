@@ -23,6 +23,7 @@ package unico
 
 import (
 	"fmt"
+	"io"
 
 	"unico/internal/baselines"
 	"unico/internal/core"
@@ -30,6 +31,7 @@ import (
 	"unico/internal/mapsearch"
 	"unico/internal/platform"
 	"unico/internal/simclock"
+	"unico/internal/telemetry"
 	"unico/internal/workload"
 )
 
@@ -188,6 +190,32 @@ type Config struct {
 	DisableRobustness bool
 	// TimeBudgetHours stops the search once the simulated clock passes it.
 	TimeBudgetHours float64
+	// TraceWriter, if non-nil, receives the run's search events as Chrome
+	// trace_event JSONL (open with a trace viewer after `jq -s .`, or read
+	// line-by-line). Tracing never changes the search result.
+	TraceWriter io.Writer
+	// Progress, if non-nil, is invoked after every optimizer iteration
+	// with a convergence snapshot (UNICO, HASCO and MOBOHB; NSGA-II does
+	// not run on the shared iteration engine).
+	Progress func(IterationProgress)
+}
+
+// IterationProgress is one per-iteration convergence snapshot.
+type IterationProgress struct {
+	// Iter is the optimizer iteration (1-based).
+	Iter int
+	// SimHours is the simulated search cost so far.
+	SimHours float64
+	// Hypervolume is the feasible front's hypervolume against a running
+	// nadir reference (comparable within a run).
+	Hypervolume float64
+	// UUL is the high-fidelity rule's current Upper Update Limit
+	// (+Inf until the first surrogate update).
+	UUL float64
+	// FrontSize is the feasible Pareto front size.
+	FrontSize int
+	// Evaluations is the cumulative mapping budget spent.
+	Evaluations int
 }
 
 func (c Config) normalize() Config {
@@ -241,6 +269,26 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 	}
 	cfg = cfg.normalize()
 	clock := &simclock.Clock{}
+
+	var tracer *telemetry.Tracer
+	if cfg.TraceWriter != nil {
+		tracer = telemetry.NewTracer(cfg.TraceWriter)
+		defer tracer.Flush()
+	}
+	var progress core.ProgressFunc
+	if cfg.Progress != nil {
+		progress = func(p core.Progress) {
+			cfg.Progress(IterationProgress{
+				Iter:        p.Iter,
+				SimHours:    p.SimHours,
+				Hypervolume: p.Hypervolume,
+				UUL:         p.UUL,
+				FrontSize:   p.FrontSize,
+				Evaluations: p.Evals,
+			})
+		}
+	}
+
 	var res core.Result
 	switch cfg.Method {
 	case MethodUNICO:
@@ -249,15 +297,23 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 		opt.Workers = cfg.Workers
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
+		opt.Tracer = tracer
+		opt.Progress = progress
 		res = core.Run(p.inner, opt)
 	case MethodHASCO:
-		res = baselines.HASCO(p.inner, cfg.BatchSize, cfg.Iterations, cfg.BudgetMax,
-			cfg.Seed, clock, cfg.TimeBudgetHours)
+		opt := baselines.HASCOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
+		opt.Clock = clock
+		opt.TimeBudgetHours = cfg.TimeBudgetHours
+		opt.Tracer = tracer
+		opt.Progress = progress
+		res = core.Run(p.inner, opt)
 	case MethodMOBOHB:
 		opt := baselines.MOBOHBOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.Workers = cfg.Workers
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
+		opt.Tracer = tracer
+		opt.Progress = progress
 		res = core.Run(p.inner, opt)
 	case MethodNSGAII:
 		res = baselines.NSGAII(p.inner, baselines.NSGAIIOptions{
