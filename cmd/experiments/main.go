@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"unico/internal/evalcache"
 	"unico/internal/experiments"
 	"unico/internal/hw"
 	"unico/internal/telemetry"
@@ -32,12 +33,39 @@ func main() {
 	traceFile := flag.String("trace", "", "write search events of every run as Chrome-trace JSONL to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	progress := flag.Bool("progress", false, "print per-iteration convergence of every run to stderr")
+	useCache := flag.Bool("cache", false, "serve repeated PPA evaluations from a content-addressed cache shared by all runs")
+	cacheSize := flag.Int("cache-size", 0, "evaluation-cache entry bound (0 = default ~1M; implies -cache)")
+	cacheFile := flag.String("cache-file", "", "warm-start the cache from this JSONL file and save it back on exit (implies -cache)")
 	flag.Parse()
 
 	if *metricsAddr != "" {
 		telemetry.ServeDebug(*metricsAddr, nil, func(err error) {
 			log.Printf("experiments: metrics server: %v", err)
 		})
+	}
+	if *useCache || *cacheSize > 0 || *cacheFile != "" {
+		cache := evalcache.New(*cacheSize)
+		if *cacheFile != "" {
+			n, err := cache.LoadFile(*cacheFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: warm-started cache with %d entries from %s\n", n, *cacheFile)
+			defer func() {
+				if err := cache.SaveFile(*cacheFile); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				}
+			}()
+		}
+		// The runners build their platforms deep inside; the process-wide
+		// cache hook reaches them all (mirroring the default-tracer pattern).
+		evalcache.SetProcess(cache)
+		defer func() {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "experiments: evaluation cache: %d hits / %d misses (%.1f%% hit rate)\n",
+				st.Hits, st.Misses, 100*st.HitRate())
+		}()
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

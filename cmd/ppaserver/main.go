@@ -30,7 +30,10 @@ import (
 	"syscall"
 	"time"
 
+	"unico/internal/camodel"
 	"unico/internal/dist"
+	"unico/internal/evalcache"
+	"unico/internal/maestro"
 	"unico/internal/telemetry"
 )
 
@@ -38,10 +41,33 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
 		"how long to drain in-flight requests on SIGINT/SIGTERM")
+	useCache := flag.Bool("cache", false,
+		"serve repeated PPA evaluations from a content-addressed cache")
+	cacheSize := flag.Int("cache-size", 0,
+		"evaluation-cache entry bound (0 = default ~1M; implies -cache)")
+	cacheFile := flag.String("cache-file", "",
+		"warm-start the cache from this JSONL file and save it back on shutdown (implies -cache)")
 	flag.Parse()
 
+	server := dist.NewServer()
+	var cache *evalcache.Cache
+	if *useCache || *cacheSize > 0 || *cacheFile != "" {
+		cache = evalcache.New(*cacheSize)
+		if *cacheFile != "" {
+			n, err := cache.LoadFile(*cacheFile)
+			if err != nil {
+				log.Fatalf("ppaserver: %v", err)
+			}
+			log.Printf("ppaserver: warm-started cache with %d entries from %s", n, *cacheFile)
+		}
+		server = dist.NewServerWith(
+			evalcache.Spatial{Inner: maestro.Engine{}, Cache: cache},
+			evalcache.Ascend{Inner: camodel.Engine{}, Cache: cache},
+		)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", dist.NewServer().Handler())
+	mux.Handle("/", server.Handler())
 	debug := telemetry.DebugMux(telemetry.DefaultRegistry)
 	mux.Handle("GET /metrics", debug)
 	mux.Handle("GET /debug/", debug)
@@ -75,6 +101,13 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("ppaserver: %v", err)
+		}
+		if cache != nil && *cacheFile != "" {
+			if err := cache.SaveFile(*cacheFile); err != nil {
+				log.Printf("ppaserver: %v", err)
+			} else {
+				log.Printf("ppaserver: saved %d cache entries to %s", cache.Len(), *cacheFile)
+			}
 		}
 		log.Printf("ppaserver: stopped")
 	}

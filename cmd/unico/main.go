@@ -39,6 +39,15 @@ func main() {
 		traceFile   = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 		progress    = flag.Bool("progress", false, "print per-iteration convergence to stderr")
+
+		useCache  = flag.Bool("cache", false, "serve repeated PPA evaluations from a content-addressed cache")
+		cacheSize = flag.Int("cache-size", 0, "evaluation-cache entry bound (0 = default ~1M; implies -cache)")
+		cacheFile = flag.String("cache-file", "", "warm-start the cache from this JSONL file and save it back on exit (implies -cache)")
+
+		remoteWorkers  = flag.String("remote-workers", "", "comma-separated ppaserver URLs; run mapping searches remotely (edge/cloud scenarios)")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request timeout against remote workers (0 = 30s default)")
+		retries        = flag.Int("retries", 0, "retries for idempotent remote requests (exponential backoff with jitter)")
+		retryBackoff   = flag.Duration("retry-backoff", 0, "initial delay between remote retries (0 = 50ms default)")
 	)
 	flag.Parse()
 
@@ -58,7 +67,22 @@ func main() {
 	nets := strings.Split(*networks, ",")
 	var p *unico.Platform
 	var err error
-	if *jsonNets != "" {
+	if *remoteWorkers != "" {
+		urls := strings.Split(*remoteWorkers, ",")
+		opts := unico.RemoteOptions{
+			RequestTimeout: *requestTimeout,
+			MaxRetries:     *retries,
+			RetryBackoff:   *retryBackoff,
+		}
+		switch *scenario {
+		case "edge":
+			p, err = unico.RemoteOpenSourcePlatform(unico.Edge, urls, opts, nets...)
+		case "cloud":
+			p, err = unico.RemoteOpenSourcePlatform(unico.Cloud, urls, opts, nets...)
+		default:
+			err = fmt.Errorf("-remote-workers supports the edge and cloud scenarios, not %q", *scenario)
+		}
+	} else if *jsonNets != "" {
 		files := strings.Split(*jsonNets, ",")
 		switch *scenario {
 		case "edge":
@@ -110,6 +134,9 @@ func main() {
 		Workers:           *workers,
 		Seed:              *seed,
 		DisableRobustness: *noR,
+		Cache:             *useCache,
+		CacheSize:         *cacheSize,
+		CacheFile:         *cacheFile,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -133,12 +160,21 @@ func main() {
 
 	res, err := unico.Optimize(p, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "unico:", err)
-		os.Exit(1)
+		if res == nil {
+			fmt.Fprintln(os.Stderr, "unico:", err)
+			os.Exit(1)
+		}
+		// The search finished; only a post-run step (cache save) failed.
+		fmt.Fprintln(os.Stderr, "unico: warning:", err)
 	}
 
 	fmt.Printf("method=%s networks=%s scenario=%s\n", m, *networks, *scenario)
 	fmt.Printf("simulated search cost: %.2f h (%d budget units)\n", res.SimulatedHours, res.Evaluations)
+	if res.CacheHits+res.CacheMisses > 0 {
+		fmt.Printf("evaluation cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			res.CacheHits, res.CacheMisses,
+			100*float64(res.CacheHits)/float64(res.CacheHits+res.CacheMisses))
+	}
 	fmt.Printf("Pareto front (%d designs):\n", len(res.Front))
 	for _, d := range res.Front {
 		fmt.Printf("  %-52s L=%.6g ms  P=%.5g mW  A=%.3g mm²  R=%.3f\n",

@@ -359,10 +359,14 @@ func runFullBudget(jobs []mapsearch.Searcher, cfg sh.Config) sh.Outcome {
 	if cfg.Clock != nil {
 		simStart = cfg.Clock.Seconds()
 	}
+	// Count what each job actually spends, not the planned budget: a dead
+	// remote job never advances, and phantom budget would inflate the
+	// result's Evals.
 	total := 0
 	for _, j := range jobs {
+		before := j.Spent()
 		j.Advance(cfg.BMax)
-		total += cfg.BMax
+		total += j.Spent() - before
 	}
 	if cfg.Clock != nil && len(jobs) > 0 {
 		cfg.Clock.AdvanceParallel(len(jobs), float64(cfg.BMax)*cfg.EvalCostSeconds, cfg.Workers)

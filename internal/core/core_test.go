@@ -8,6 +8,8 @@ import (
 	"unico/internal/mobo"
 	"unico/internal/pareto"
 	"unico/internal/platform"
+	"unico/internal/ppa"
+	"unico/internal/sh"
 	"unico/internal/simclock"
 	"unico/internal/workload"
 )
@@ -211,5 +213,33 @@ func TestExternalClockShared(t *testing.T) {
 	Run(testPlatform(), opt)
 	if clk.Hours() <= 0 {
 		t.Error("external clock not advanced")
+	}
+}
+
+// spendCounter is a minimal searcher that just tallies advanced budget.
+type spendCounter struct{ spent int }
+
+func (s *spendCounter) Advance(b int)             { s.spent += b }
+func (s *spendCounter) History() ppa.History      { return nil }
+func (s *spendCounter) RawHistory() ppa.History   { return nil }
+func (s *spendCounter) Spent() int                { return s.spent }
+func (s *spendCounter) Best() (ppa.Metrics, bool) { return ppa.Metrics{}, false }
+
+// stuckSearcher never advances, like a remote job on a dead worker.
+type stuckSearcher struct{}
+
+func (stuckSearcher) Advance(int)               {}
+func (stuckSearcher) History() ppa.History      { return nil }
+func (stuckSearcher) RawHistory() ppa.History   { return nil }
+func (stuckSearcher) Spent() int                { return 0 }
+func (stuckSearcher) Best() (ppa.Metrics, bool) { return ppa.Metrics{}, false }
+
+// TestRunFullBudgetCountsActualSpend pins the no-early-stopping accounting:
+// a job that cannot advance contributes zero evaluations, not BMax.
+func TestRunFullBudgetCountsActualSpend(t *testing.T) {
+	jobs := []mapsearch.Searcher{&spendCounter{}, stuckSearcher{}}
+	out := runFullBudget(jobs, sh.Config{BMax: 5, Workers: 2})
+	if out.TotalEvals != 5 {
+		t.Errorf("TotalEvals = %d, want 5 (one live job x BMax)", out.TotalEvals)
 	}
 }

@@ -3,57 +3,253 @@ package dist
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"time"
 
+	"unico/internal/camodel"
+	"unico/internal/evalcache"
+	"unico/internal/maestro"
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 )
+
+// Defaults for client resilience knobs (see Options).
+const (
+	// DefaultTimeout bounds every worker request when no *http.Client is
+	// supplied. Without it a single dead worker (accepted TCP connection,
+	// never answering) stalls the master's co-search forever.
+	DefaultTimeout = 30 * time.Second
+	// DefaultRetryBackoff is the first retry delay; each retry doubles it.
+	DefaultRetryBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential retry delay.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// Options tunes a Client's resilience behavior. The zero value means:
+// DefaultTimeout, no retries, no cache.
+type Options struct {
+	// Timeout bounds each request when NewClientOptions builds the transport
+	// itself (ignored when an explicit *http.Client is passed).
+	// <= 0 means DefaultTimeout.
+	Timeout time.Duration
+	// MaxRetries is how many times an idempotent request (EvaluatePPA) is
+	// retried after a retryable failure — 5xx status, transport error, or
+	// truncated response. Non-idempotent routes (CreateJob, AdvanceJob) are
+	// never retried: a retry after an ambiguous failure could create a
+	// duplicate job or spend budget twice.
+	MaxRetries int
+	// RetryBackoff is the initial retry delay (doubling per retry, with
+	// jitter). <= 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the delay between retries. <= 0 means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Cache, when non-nil, serves EvaluatePPA from a content-addressed
+	// evaluation cache, skipping the network round trip entirely on a hit.
+	// Transport errors are never cached.
+	Cache *evalcache.Cache
+}
 
 // Client talks to one worker node.
 type Client struct {
 	base string
 	hc   *http.Client
+	opts Options
 }
 
 // NewClient builds a client for the worker at base (e.g.
-// "http://worker-1:8080"). A nil httpClient uses http.DefaultClient.
+// "http://worker-1:8080"). A nil httpClient gets a transport bounded by
+// DefaultTimeout — never the timeout-less http.DefaultClient, which would
+// hang forever on a dead worker. Pass an explicit *http.Client (or use
+// NewClientOptions) to override the timeout.
 func NewClient(base string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	return NewClientOptions(base, httpClient, Options{})
+}
+
+// NewClientOptions builds a client with explicit resilience options. A nil
+// httpClient gets a transport bounded by opts.Timeout (DefaultTimeout when
+// unset); a non-nil one is used as-is and owns its own timeout.
+func NewClientOptions(base string, httpClient *http.Client, opts Options) *Client {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
 	}
-	return &Client{base: base, hc: httpClient}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: opts.Timeout}
+	}
+	return &Client{base: base, hc: httpClient, opts: opts}
 }
 
 // Base returns the worker's base URL.
 func (c *Client) Base() string { return c.base }
 
-// post sends req as JSON and decodes the response into resp.
+// retryableError marks a failure that is safe and worthwhile to retry on an
+// idempotent route: the request may never have reached the worker (transport
+// error), the worker declared itself broken (5xx), or the response was cut
+// off mid-body (decode error).
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func retryable(err error) error { return &retryableError{err: err} }
+
+// do sends one POST and decodes the JSON response, classifying failures as
+// retryable or not. 4xx responses carry a JSON error body the caller
+// inspects, so they decode normally and are never retried.
+func (c *Client) do(path string, body []byte, resp any) error {
+	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return retryable(fmt.Errorf("dist: post %s: %w", path, err))
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode >= 500 {
+		return retryable(fmt.Errorf("dist: post %s: worker returned %s", path, httpResp.Status))
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return retryable(fmt.Errorf("dist: decode %s: %w", path, err))
+	}
+	return nil
+}
+
+// post sends req as JSON and decodes the response into resp, without
+// retrying — the route may not be idempotent.
 func (c *Client) post(path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", path, err)
 	}
-	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("dist: post %s: %w", path, err)
-	}
-	defer httpResp.Body.Close()
-	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
-		return fmt.Errorf("dist: decode %s: %w", path, err)
-	}
-	return nil
+	return c.do(path, body, resp)
 }
 
-// EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely.
+// postIdempotent is post with up to MaxRetries retries on retryable
+// failures, backing off exponentially with jitter so a pool of masters does
+// not hammer a recovering worker in lockstep.
+func (c *Client) postIdempotent(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s: %w", path, err)
+	}
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := c.do(path, body, resp)
+		var r *retryableError
+		if err == nil || attempt >= c.opts.MaxRetries || !errors.As(err, &r) {
+			return err
+		}
+		telemetry.DistRetries().Inc()
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		if backoff *= 2; backoff > c.opts.MaxBackoff {
+			backoff = c.opts.MaxBackoff
+		}
+	}
+}
+
+// EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely. The
+// route is a pure function of the request, so it retries on retryable
+// failures and, when Options.Cache is set, serves repeats from the
+// content-addressed cache without touching the network. The returned error
+// covers transport only; evaluation failures arrive in PPAResponse.Error.
 func (c *Client) EvaluatePPA(req PPARequest) (PPAResponse, error) {
+	if c.opts.Cache == nil {
+		return c.evaluatePPA(req)
+	}
+	key, engine, ok := cacheKeyFor(&req)
+	if !ok {
+		return c.evaluatePPA(req)
+	}
+	met, err := c.opts.Cache.Do(key, engine, func() (ppa.Metrics, error) {
+		resp, err := c.evaluatePPA(req)
+		if err != nil {
+			// A network failure says nothing about the triple — do not cache.
+			return ppa.Metrics{}, evalcache.Uncachable(err)
+		}
+		if resp.Error != "" {
+			return ppa.Metrics{}, newRemoteEvalError(resp, engine)
+		}
+		return resp.Metrics, nil
+	})
+	if err == nil {
+		return PPAResponse{Metrics: met}, nil
+	}
+	var re *remoteEvalError
+	switch {
+	case errors.As(err, &re):
+		return PPAResponse{Error: re.msg, Infeasible: re.sentinel != nil}, nil
+	case errors.Is(err, maestro.ErrInfeasible), errors.Is(err, camodel.ErrInfeasible):
+		// Infeasibility reloaded from a persisted cache file.
+		return PPAResponse{Error: err.Error(), Infeasible: true}, nil
+	}
+	return PPAResponse{}, err
+}
+
+func (c *Client) evaluatePPA(req PPARequest) (PPAResponse, error) {
 	var resp PPAResponse
-	if err := c.post("/v1/ppa", req, &resp); err != nil {
+	if err := c.postIdempotent("/v1/ppa", req, &resp); err != nil {
 		return PPAResponse{}, err
 	}
 	return resp, nil
 }
 
-// CreateJob creates a mapping-search job on the worker.
+// remoteEvalError carries a worker-reported evaluation failure through the
+// client-side cache so the PPAResponse can be reconstructed on a hit.
+type remoteEvalError struct {
+	msg      string
+	sentinel error // the engine's ErrInfeasible, or nil
+}
+
+func (e *remoteEvalError) Error() string { return e.msg }
+
+// Unwrap exposes the infeasibility sentinel so errors.Is — and JSONL
+// persistence of the cache — see the failure kind.
+func (e *remoteEvalError) Unwrap() error { return e.sentinel }
+
+func newRemoteEvalError(resp PPAResponse, engine string) *remoteEvalError {
+	e := &remoteEvalError{msg: resp.Error}
+	if resp.Infeasible {
+		switch engine {
+		case evalcache.EngineMaestro:
+			e.sentinel = maestro.ErrInfeasible
+		case evalcache.EngineCAModel:
+			e.sentinel = camodel.ErrInfeasible
+		}
+	}
+	return e
+}
+
+// cacheKeyFor derives the content address of a PPA request; ok is false for
+// malformed requests, which skip the cache and let the worker report the
+// error.
+func cacheKeyFor(req *PPARequest) (evalcache.Key, string, bool) {
+	switch req.Platform {
+	case "spatial":
+		if req.SpatialHW == nil || req.SpatialMapping == nil {
+			return evalcache.Key{}, "", false
+		}
+		m := req.SpatialMapping.Canon(req.Layer)
+		return evalcache.SpatialKey(*req.SpatialHW, m, req.Layer), evalcache.EngineMaestro, true
+	case "ascend":
+		if req.AscendHW == nil || req.AscendMapping == nil {
+			return evalcache.Key{}, "", false
+		}
+		m := req.AscendMapping.Canon(req.Layer)
+		return evalcache.AscendKey(*req.AscendHW, m, req.Layer), evalcache.EngineCAModel, true
+	}
+	return evalcache.Key{}, "", false
+}
+
+// CreateJob creates a mapping-search job on the worker. Not retried: after
+// an ambiguous failure a retry could leave an orphaned duplicate job.
 func (c *Client) CreateJob(spec JobSpec) (string, error) {
 	var resp JobCreateResponse
 	if err := c.post("/v1/jobs", spec, &resp); err != nil {
@@ -66,7 +262,8 @@ func (c *Client) CreateJob(spec JobSpec) (string, error) {
 }
 
 // AdvanceJob spends budget on a job and returns its state (budget 0 just
-// polls).
+// polls). Not retried: a retry after an ambiguous failure could spend the
+// budget twice.
 func (c *Client) AdvanceJob(id string, budget int) (JobState, error) {
 	var state JobState
 	if err := c.post("/v1/jobs/advance", AdvanceRequest{ID: id, Budget: budget}, &state); err != nil {

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultInjector wraps a worker handler with scriptable failures, so
+// resilience tests can make a real httptest worker return 500s, hang past
+// the client timeout, or reset connections mid-request — without touching
+// the worker implementation.
+//
+// Faults are consumed in a fixed order (fail, then hang, then reset) one per
+// request until the scripted counts are exhausted, after which requests pass
+// through to the wrapped handler.
+type FaultInjector struct {
+	next http.Handler
+
+	mu        sync.Mutex
+	failNext  int
+	hangNext  int
+	hangFor   time.Duration
+	resetNext int
+	injected  int
+}
+
+// NewFaultInjector wraps next with an injector that initially injects
+// nothing.
+func NewFaultInjector(next http.Handler) *FaultInjector {
+	return &FaultInjector{next: next}
+}
+
+// FailNext makes the next n requests answer 500 Internal Server Error.
+func (f *FaultInjector) FailNext(n int) {
+	f.mu.Lock()
+	f.failNext += n
+	f.mu.Unlock()
+}
+
+// HangNext makes the next n requests sleep for d before answering —
+// long enough past the client timeout to simulate a wedged worker.
+func (f *FaultInjector) HangNext(n int, d time.Duration) {
+	f.mu.Lock()
+	f.hangNext += n
+	f.hangFor = d
+	f.mu.Unlock()
+}
+
+// ResetNext makes the next n requests abort mid-response, which the client
+// observes as a connection reset / unexpected EOF.
+func (f *FaultInjector) ResetNext(n int) {
+	f.mu.Lock()
+	f.resetNext += n
+	f.mu.Unlock()
+}
+
+// Injected returns how many faults have been injected so far.
+func (f *FaultInjector) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// ServeHTTP injects the next scripted fault, or passes the request through.
+func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	switch {
+	case f.failNext > 0:
+		f.failNext--
+		f.injected++
+		f.mu.Unlock()
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	case f.hangNext > 0:
+		f.hangNext--
+		f.injected++
+		d := f.hangFor
+		f.mu.Unlock()
+		time.Sleep(d)
+		http.Error(w, "injected hang", http.StatusServiceUnavailable)
+		return
+	case f.resetNext > 0:
+		f.resetNext--
+		f.injected++
+		f.mu.Unlock()
+		// net/http translates this panic into an aborted connection, which
+		// the client sees as a reset rather than a well-formed response.
+		panic(http.ErrAbortHandler)
+	}
+	f.mu.Unlock()
+	f.next.ServeHTTP(w, r)
+}

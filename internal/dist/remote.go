@@ -2,30 +2,64 @@ package dist
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
 
 	"unico/internal/hw"
 	"unico/internal/mapsearch"
 	"unico/internal/mobo"
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 	"unico/internal/workload"
 )
+
+// Defaults for the master's worker-health policy (see the corresponding
+// RemoteSpatialPlatform fields).
+const (
+	// DefaultEvictAfter is how many consecutive job-creation failures evict
+	// a worker from the rotation.
+	DefaultEvictAfter = 3
+	// DefaultProbeEvery is how many NewJob calls pass between health probes
+	// of evicted workers.
+	DefaultProbeEvery = 8
+)
+
+// workerHealth is the master's view of one worker.
+type workerHealth struct {
+	client      *Client
+	consecFails int
+	evicted     bool
+}
 
 // RemoteSpatialPlatform implements core.Platform over a pool of worker
 // nodes: the master runs MOBO and successive halving locally, while every
 // software-mapping job executes on a worker — the master/slave deployment
 // of paper Fig. 6b. Jobs are assigned to workers round-robin.
+//
+// Workers that repeatedly fail job creation are evicted from the rotation so
+// a dead node stops eating timeouts on every batch; evicted workers are
+// probed periodically (counted in NewJob calls, so behavior is deterministic
+// — no background goroutines) and re-admitted when their health endpoint
+// answers again.
 type RemoteSpatialPlatform struct {
-	workers  []*Client
 	space    *hw.SpatialSpace
 	scenario hw.Scenario
 	networks []string
 	layerN   int
 	algo     string
-	next     atomic.Uint64
+
+	mu      sync.Mutex
+	workers []*workerHealth
+	calls   int // NewJob calls; drives round-robin and probe cadence
+
 	// PerEvalSeconds is the simulated cost of one PPA evaluation on a
 	// worker (default: the analytical engine's 0.08 s).
 	PerEvalSeconds float64
+	// EvictAfter is how many consecutive job-creation failures evict a
+	// worker (default DefaultEvictAfter).
+	EvictAfter int
+	// ProbeEvery is how many NewJob calls pass between probes of evicted
+	// workers (default DefaultProbeEvery).
+	ProbeEvery int
 }
 
 // NewRemoteSpatialPlatform builds the master-side platform. The networks
@@ -42,25 +76,32 @@ func NewRemoteSpatialPlatform(workers []*Client, sc hw.Scenario, networks []stri
 		}
 		layerN += len(wl.Layers)
 	}
+	hs := make([]*workerHealth, len(workers))
+	for i, w := range workers {
+		hs[i] = &workerHealth{client: w}
+	}
 	return &RemoteSpatialPlatform{
-		workers:        workers,
+		workers:        hs,
 		space:          hw.NewSpatialSpace(sc),
 		scenario:       sc,
 		networks:       networks,
 		layerN:         layerN,
 		algo:           "flextensor",
 		PerEvalSeconds: 0.08,
+		EvictAfter:     DefaultEvictAfter,
+		ProbeEvery:     DefaultProbeEvery,
 	}, nil
 }
 
 // Space returns the hardware design space.
 func (p *RemoteSpatialPlatform) Space() mobo.Space { return p.space }
 
-// NewJob creates the mapping search on the next worker (round-robin),
-// failing over to the remaining workers when one refuses the job. Only when
-// every worker is unreachable does the candidate become a dead job, which
-// the co-optimizer scores as infeasible — one lost candidate, not a lost
-// run.
+// NewJob creates the mapping search on the next non-evicted worker
+// (round-robin), failing over to the remaining ones when a worker refuses
+// the job. Failures count toward eviction; if every active worker fails, the
+// evicted ones are probed as a last resort. Only when no worker at all can
+// take the job does the candidate become a dead job, which the co-optimizer
+// scores as infeasible — one lost candidate, not a lost run.
 func (p *RemoteSpatialPlatform) NewJob(x []float64, seed int64) mapsearch.Searcher {
 	spec := JobSpec{
 		Platform: "spatial",
@@ -70,23 +111,112 @@ func (p *RemoteSpatialPlatform) NewJob(x []float64, seed int64) mapsearch.Search
 		Algo:     p.algo,
 		Seed:     seed,
 	}
-	start := int(p.next.Add(1))
-	for attempt := 0; attempt < len(p.workers); attempt++ {
-		w := p.workers[(start+attempt)%len(p.workers)]
-		job, err := NewRemoteJob(w, spec)
-		if err == nil {
-			return job
+
+	p.mu.Lock()
+	p.calls++
+	start := p.calls
+	if p.ProbeEvery > 0 && p.calls%p.ProbeEvery == 0 {
+		p.probeEvictedLocked()
+	}
+	var active []*workerHealth
+	for _, w := range p.workers {
+		if !w.evicted {
+			active = append(active, w)
 		}
 	}
+	p.mu.Unlock()
+
+	for attempt := 0; attempt < len(active); attempt++ {
+		w := active[(start+attempt)%len(active)]
+		job, err := NewRemoteJob(w.client, spec)
+		if err == nil {
+			p.noteSuccess(w)
+			return job
+		}
+		p.noteFailure(w)
+	}
+
+	// Every active worker failed (or all are evicted): probe the evicted
+	// pool immediately rather than returning a dead job while a recovered
+	// worker sits idle.
+	p.mu.Lock()
+	p.probeEvictedLocked()
+	var revived []*workerHealth
+	for _, w := range p.workers {
+		if !w.evicted {
+			revived = append(revived, w)
+		}
+	}
+	p.mu.Unlock()
+	for _, w := range revived {
+		if job, err := NewRemoteJob(w.client, spec); err == nil {
+			p.noteSuccess(w)
+			return job
+		}
+		p.noteFailure(w)
+	}
 	return deadJob{}
+}
+
+// noteSuccess clears a worker's failure streak.
+func (p *RemoteSpatialPlatform) noteSuccess(w *workerHealth) {
+	p.mu.Lock()
+	w.consecFails = 0
+	p.mu.Unlock()
+}
+
+// noteFailure records a job-creation failure, evicting the worker once the
+// streak reaches EvictAfter.
+func (p *RemoteSpatialPlatform) noteFailure(w *workerHealth) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.consecFails++
+	limit := p.EvictAfter
+	if limit <= 0 {
+		limit = DefaultEvictAfter
+	}
+	if !w.evicted && w.consecFails >= limit {
+		w.evicted = true
+		telemetry.DistWorkerEvictions().Inc()
+	}
+}
+
+// probeEvictedLocked re-admits every evicted worker whose health endpoint
+// answers. Callers must hold p.mu.
+func (p *RemoteSpatialPlatform) probeEvictedLocked() {
+	for _, w := range p.workers {
+		if w.evicted && w.client.Healthy() {
+			w.evicted = false
+			w.consecFails = 0
+			telemetry.DistWorkerReadmissions().Inc()
+		}
+	}
+}
+
+// EvictedWorkers returns how many workers are currently evicted from the
+// rotation.
+func (p *RemoteSpatialPlatform) EvictedWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if w.evicted {
+			n++
+		}
+	}
+	return n
 }
 
 // HealthyWorkers returns how many workers currently answer their health
 // endpoint — an operational check for the master before a long run.
 func (p *RemoteSpatialPlatform) HealthyWorkers() int {
+	p.mu.Lock()
+	ws := make([]*workerHealth, len(p.workers))
+	copy(ws, p.workers)
+	p.mu.Unlock()
 	n := 0
-	for _, w := range p.workers {
-		if w.Healthy() {
+	for _, w := range ws {
+		if w.client.Healthy() {
 			n++
 		}
 	}

@@ -22,8 +22,8 @@ import (
 // Server is a worker node: it exposes the PPA-estimation engine and hosts
 // resumable mapping-search jobs (the "Jobs" of paper Fig. 6a).
 type Server struct {
-	spatial maestro.Engine
-	ascend  camodel.Engine
+	spatial mapsearch.SpatialEngine
+	ascend  mapsearch.AscendEngine
 
 	mu     sync.Mutex
 	nextID int
@@ -37,7 +37,14 @@ type serverJob struct {
 
 // NewServer builds a worker with default engines.
 func NewServer() *Server {
-	return &Server{jobs: map[string]*serverJob{}}
+	return NewServerWith(maestro.Engine{}, camodel.Engine{})
+}
+
+// NewServerWith builds a worker over explicit engines — typically
+// evalcache-wrapped ones (cmd/ppaserver's -cache flag), or counting stubs in
+// tests.
+func NewServerWith(spatial mapsearch.SpatialEngine, ascend mapsearch.AscendEngine) *Server {
+	return &Server{spatial: spatial, ascend: ascend, jobs: map[string]*serverJob{}}
 }
 
 // Handler returns the HTTP handler exposing the worker API, wrapped in the

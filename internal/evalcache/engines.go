@@ -1,0 +1,103 @@
+package evalcache
+
+import (
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// Engine names recorded with each entry. Persistence uses them to
+// reconstruct the right infeasibility sentinel on load (persist.go).
+const (
+	// EngineMaestro labels entries produced by the spatial platform's
+	// analytical model (internal/maestro).
+	EngineMaestro = "maestro"
+	// EngineCAModel labels entries produced by the Ascend-like platform's
+	// cycle-level simulator (internal/camodel).
+	EngineCAModel = "camodel"
+)
+
+// SpatialEvaluator is the PPA-oracle contract of the spatial platform —
+// structurally identical to mapsearch.SpatialEngine, restated here so the
+// package does not import the search layer it sits underneath.
+// maestro.Engine satisfies it.
+type SpatialEvaluator interface {
+	// Evaluate returns the PPA of one (hardware, mapping, layer) triple.
+	// Implementations must be pure functions of their arguments — the
+	// contract that makes caching sound.
+	Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error)
+	// Area returns the mapping-independent silicon area of a configuration.
+	Area(c hw.Spatial) float64
+	// EvalCostSeconds is the simulated cost of one (uncached) evaluation.
+	EvalCostSeconds() float64
+}
+
+// AscendEvaluator is the PPA-oracle contract of the Ascend-like platform —
+// structurally identical to mapsearch.AscendEngine. camodel.Engine
+// satisfies it.
+type AscendEvaluator interface {
+	// Evaluate simulates one layer under schedule m on core c. Must be a
+	// pure function of its arguments.
+	Evaluate(c hw.Ascend, m mapping.Ascend, l workload.Layer) (ppa.Metrics, error)
+	// Area returns the mapping-independent core area.
+	Area(c hw.Ascend) float64
+	// EvalCostSeconds is the simulated cost of one (uncached) evaluation.
+	EvalCostSeconds() float64
+}
+
+// Spatial wraps a SpatialEvaluator with a content-addressed cache. It
+// satisfies the same interface, so it drops into every place a
+// maestro.Engine goes (mapsearch.NewSpatialSearcher, platform.Spatial.Engine,
+// dist.Server).
+type Spatial struct {
+	// Inner is the engine consulted on a miss (typically maestro.Engine).
+	Inner SpatialEvaluator
+	// Cache stores and deduplicates results. Must be non-nil.
+	Cache *Cache
+}
+
+// Evaluate serves the triple from the cache, computing with the inner
+// engine on a miss. The mapping is canonicalized first so schedules the
+// engine would clamp identically share one entry.
+func (s Spatial) Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error) {
+	m = m.Canon(l)
+	return s.Cache.Do(SpatialKey(c, m, l), EngineMaestro, func() (ppa.Metrics, error) {
+		return s.Inner.Evaluate(c, m, l)
+	})
+}
+
+// Area delegates to the inner engine (area is cheap and mapping-free).
+func (s Spatial) Area(c hw.Spatial) float64 { return s.Inner.Area(c) }
+
+// EvalCostSeconds reports the inner engine's simulated per-evaluation cost.
+// The simulated-clock account deliberately charges cached evaluations too:
+// the clock models the paper's evaluation budget, and budget accounting must
+// not depend on cache state or run order.
+func (s Spatial) EvalCostSeconds() float64 { return s.Inner.EvalCostSeconds() }
+
+// Ascend wraps an AscendEvaluator with a content-addressed cache, mirroring
+// Spatial for the cycle-level simulator (where a hit saves minutes of
+// simulated time rather than milliseconds).
+type Ascend struct {
+	// Inner is the engine consulted on a miss (typically camodel.Engine).
+	Inner AscendEvaluator
+	// Cache stores and deduplicates results. Must be non-nil.
+	Cache *Cache
+}
+
+// Evaluate serves the triple from the cache, computing with the inner
+// engine on a miss.
+func (a Ascend) Evaluate(c hw.Ascend, m mapping.Ascend, l workload.Layer) (ppa.Metrics, error) {
+	m = m.Canon(l)
+	return a.Cache.Do(AscendKey(c, m, l), EngineCAModel, func() (ppa.Metrics, error) {
+		return a.Inner.Evaluate(c, m, l)
+	})
+}
+
+// Area delegates to the inner engine.
+func (a Ascend) Area(c hw.Ascend) float64 { return a.Inner.Area(c) }
+
+// EvalCostSeconds reports the inner engine's simulated per-evaluation cost
+// (see Spatial.EvalCostSeconds for why hits still charge it).
+func (a Ascend) EvalCostSeconds() float64 { return a.Inner.EvalCostSeconds() }

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"unico/internal/camodel"
 	"unico/internal/hw"
 	"unico/internal/mapping"
 	"unico/internal/ppa"
@@ -15,7 +14,7 @@ import (
 // the generic Problem interface (used by the annealer/genetic searchers and
 // as the evaluation oracle of the depth-first search).
 type ascendProblem struct {
-	eng   camodel.Engine
+	eng   AscendEngine
 	cfg   hw.Ascend
 	layer workload.Layer
 }
@@ -110,7 +109,7 @@ type DepthFirstFusion struct {
 }
 
 // NewDepthFirstFusion builds the depth-first searcher for one layer.
-func NewDepthFirstFusion(eng camodel.Engine, cfg hw.Ascend, l workload.Layer, rng *rand.Rand) *DepthFirstFusion {
+func NewDepthFirstFusion(eng AscendEngine, cfg hw.Ascend, l workload.Layer, rng *rand.Rand) *DepthFirstFusion {
 	gm, gk, gn := mapping.GemmDims(l)
 	d := &DepthFirstFusion{
 		prob: ascendProblem{eng: eng, cfg: cfg, layer: l},
@@ -233,7 +232,7 @@ func (d *DepthFirstFusion) Evals() int { return d.evals }
 
 // NewAscendSearcher builds the network-level schedule search for one
 // Ascend-like core configuration.
-func NewAscendSearcher(eng camodel.Engine, cfg hw.Ascend, w workload.Workload, algo Algo, seed int64) *NetworkSearcher {
+func NewAscendSearcher(eng AscendEngine, cfg hw.Ascend, w workload.Workload, algo Algo, seed int64) *NetworkSearcher {
 	layers := make([]LayerSearcher, len(w.Layers))
 	repeats := make([]int, len(w.Layers))
 	weights := make([]float64, len(w.Layers))

@@ -1,0 +1,34 @@
+package mapsearch
+
+import (
+	"unico/internal/hw"
+	"unico/internal/mapping"
+	"unico/internal/ppa"
+	"unico/internal/workload"
+)
+
+// SpatialEngine is the PPA oracle a spatial mapping search runs against.
+// maestro.Engine is the canonical implementation; evalcache.Spatial wraps
+// one with a content-addressed cache, and tests substitute counting stubs.
+// Implementations must be pure functions of their arguments and safe for
+// concurrent use — layer searches of one network advance in parallel.
+type SpatialEngine interface {
+	// Evaluate returns the PPA of one (hardware, mapping, layer) triple.
+	Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error)
+	// Area returns the mapping-independent silicon area of a configuration.
+	Area(c hw.Spatial) float64
+	// EvalCostSeconds is the simulated wall-clock cost of one evaluation.
+	EvalCostSeconds() float64
+}
+
+// AscendEngine is the PPA oracle an Ascend-like schedule search runs
+// against; camodel.Engine is the canonical implementation. The same purity
+// and concurrency requirements as SpatialEngine apply.
+type AscendEngine interface {
+	// Evaluate simulates one layer under schedule m on core c.
+	Evaluate(c hw.Ascend, m mapping.Ascend, l workload.Layer) (ppa.Metrics, error)
+	// Area returns the mapping-independent core area.
+	Area(c hw.Ascend) float64
+	// EvalCostSeconds is the simulated wall-clock cost of one evaluation.
+	EvalCostSeconds() float64
+}

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 
 	"unico/internal/hw"
-	"unico/internal/maestro"
 	"unico/internal/mapping"
 	"unico/internal/ppa"
 	"unico/internal/workload"
@@ -40,7 +39,7 @@ func (a Algo) String() string {
 // spatialProblem adapts one layer on one spatial-accelerator configuration
 // to the generic Problem interface.
 type spatialProblem struct {
-	eng   maestro.Engine
+	eng   SpatialEngine
 	cfg   hw.Spatial
 	layer workload.Layer
 }
@@ -115,7 +114,7 @@ func (p spatialProblem) Seeds() []mapping.Spatial {
 // NewSpatialSearcher builds the network-level mapping search for one spatial
 // hardware configuration. Layer searches are seeded deterministically from
 // seed so co-search runs are reproducible.
-func NewSpatialSearcher(eng maestro.Engine, cfg hw.Spatial, w workload.Workload, algo Algo, seed int64) *NetworkSearcher {
+func NewSpatialSearcher(eng SpatialEngine, cfg hw.Spatial, w workload.Workload, algo Algo, seed int64) *NetworkSearcher {
 	layers := make([]LayerSearcher, len(w.Layers))
 	repeats := make([]int, len(w.Layers))
 	weights := make([]float64, len(w.Layers))

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"unico/internal/camodel"
+	"unico/internal/evalcache"
 	"unico/internal/hw"
 	"unico/internal/maestro"
 	"unico/internal/mapsearch"
@@ -34,10 +35,31 @@ func combine(ws []workload.Workload) workload.Workload {
 	return workload.Workload{Name: strings.Join(names, "+"), Layers: layers}
 }
 
+// spatialEngine picks the platform's PPA oracle: the bare analytical model,
+// or — when a process-wide evaluation cache is installed
+// (evalcache.SetProcess) — the model behind a content-addressed cache.
+func spatialEngine() mapsearch.SpatialEngine {
+	if c := evalcache.Process(); c != nil {
+		return evalcache.Spatial{Inner: maestro.Engine{}, Cache: c}
+	}
+	return maestro.Engine{}
+}
+
+// ascendEngine mirrors spatialEngine for the cycle-level simulator.
+func ascendEngine() mapsearch.AscendEngine {
+	if c := evalcache.Process(); c != nil {
+		return evalcache.Ascend{Inner: camodel.Engine{}, Cache: c}
+	}
+	return camodel.Engine{}
+}
+
 // Spatial is the open-source spatial-accelerator platform: the Fig. 1
 // template searched over MAESTRO-like analytical PPA.
 type Spatial struct {
-	Engine    maestro.Engine
+	// Engine is the PPA oracle mapping searches evaluate against. The
+	// constructor installs maestro.Engine (cache-wrapped when a process-wide
+	// evalcache is set); replace it to substitute a stub or add a cache.
+	Engine    mapsearch.SpatialEngine
 	Algo      mapsearch.Algo
 	space     *hw.SpatialSpace
 	workloads workload.Workload
@@ -49,11 +71,21 @@ func NewSpatial(sc hw.Scenario, ws []workload.Workload, algo mapsearch.Algo) *Sp
 		panic("platform: NewSpatial needs at least one workload")
 	}
 	return &Spatial{
-		Engine:    maestro.Engine{},
+		Engine:    spatialEngine(),
 		Algo:      algo,
 		space:     hw.NewSpatialSpace(sc),
 		workloads: combine(ws),
 	}
+}
+
+// EnableCache replaces the platform's engine with the same engine behind c
+// and returns the platform (nil c is a no-op). Wrapping is idempotent in
+// effect: hits on an already-cached engine simply resolve in the outer cache.
+func (p *Spatial) EnableCache(c *evalcache.Cache) *Spatial {
+	if c != nil {
+		p.Engine = evalcache.Spatial{Inner: p.Engine, Cache: c}
+	}
+	return p
 }
 
 // Space returns the hardware design space.
@@ -90,7 +122,10 @@ func (p *Spatial) AreaCapMM2() float64 { return 0 }
 // searched over the cycle-level simulator, under the 200 mm² edge-chip area
 // constraint of paper Section 4.6.
 type Ascend struct {
-	Engine    camodel.Engine
+	// Engine is the PPA oracle schedule searches evaluate against. The
+	// constructor installs camodel.Engine (cache-wrapped when a process-wide
+	// evalcache is set); replace it to substitute a stub or add a cache.
+	Engine    mapsearch.AscendEngine
 	Algo      mapsearch.Algo
 	AreaCap   float64
 	space     *hw.AscendSpace
@@ -103,12 +138,21 @@ func NewAscend(ws []workload.Workload, algo mapsearch.Algo) *Ascend {
 		panic("platform: NewAscend needs at least one workload")
 	}
 	return &Ascend{
-		Engine:    camodel.Engine{},
+		Engine:    ascendEngine(),
 		Algo:      algo,
 		AreaCap:   200,
 		space:     hw.NewAscendSpace(),
 		workloads: combine(ws),
 	}
+}
+
+// EnableCache replaces the platform's engine with the same engine behind c
+// and returns the platform (nil c is a no-op).
+func (p *Ascend) EnableCache(c *evalcache.Cache) *Ascend {
+	if c != nil {
+		p.Engine = evalcache.Ascend{Inner: p.Engine, Cache: c}
+	}
+	return p
 }
 
 // Space returns the hardware design space.

@@ -2,11 +2,17 @@ package platform
 
 import (
 	"math/rand"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"unico/internal/core"
+	"unico/internal/evalcache"
 	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/mapping"
 	"unico/internal/mapsearch"
+	"unico/internal/ppa"
 	"unico/internal/workload"
 )
 
@@ -96,5 +102,74 @@ func TestConstructorsRejectEmpty(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// countingSpatialEngine counts engine calls through to maestro, so cache
+// tests can prove repeated evaluations perform no recomputation.
+type countingSpatialEngine struct {
+	inner maestro.Engine
+	calls *atomic.Int64
+}
+
+func (e countingSpatialEngine) Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error) {
+	e.calls.Add(1)
+	return e.inner.Evaluate(c, m, l)
+}
+func (e countingSpatialEngine) Area(c hw.Spatial) float64 { return e.inner.Area(c) }
+func (e countingSpatialEngine) EvalCostSeconds() float64  { return e.inner.EvalCostSeconds() }
+
+// TestCachedJobPerformsNoRecomputation is the acceptance check for the
+// evaluation cache: re-running the identical (x, seed) mapping search must be
+// served entirely from the cache, with zero engine calls.
+func TestCachedJobPerformsNoRecomputation(t *testing.T) {
+	var calls atomic.Int64
+	p := NewSpatial(hw.Edge, []workload.Workload{workload.MobileNet()}, mapsearch.FlexTensorLike)
+	p.Engine = countingSpatialEngine{calls: &calls}
+	p.EnableCache(evalcache.New(0))
+
+	x := p.Space().Sample(rand.New(rand.NewSource(5)))
+
+	job := p.NewJob(x, 11)
+	job.Advance(6)
+	first := calls.Load()
+	if first == 0 {
+		t.Fatal("first job performed no engine calls")
+	}
+
+	job2 := p.NewJob(x, 11)
+	job2.Advance(6)
+	if got := calls.Load(); got != first {
+		t.Errorf("repeated job performed %d engine recomputations", got-first)
+	}
+	if !reflect.DeepEqual(job2.History(), job.History()) {
+		t.Error("cached job history differs from original")
+	}
+}
+
+// TestCoSearchBitIdenticalWithCache pins the cache's correctness contract:
+// a full co-search returns bit-identical results with the cache on and off.
+func TestCoSearchBitIdenticalWithCache(t *testing.T) {
+	opt := core.UNICOOptions(4, 2, 8, 3)
+	opt.Workers = 2
+
+	run := func(cached bool) core.Result {
+		p := NewSpatial(hw.Edge, []workload.Workload{workload.MobileNet()}, mapsearch.FlexTensorLike)
+		if cached {
+			p.EnableCache(evalcache.New(0))
+		}
+		return core.Run(p, opt)
+	}
+
+	plain, cached := run(false), run(true)
+	if !reflect.DeepEqual(plain.Front, cached.Front) {
+		t.Errorf("cached front differs:\n off %+v\n on  %+v", plain.Front, cached.Front)
+	}
+	if !reflect.DeepEqual(plain.All, cached.All) {
+		t.Error("cached candidate set differs from uncached run")
+	}
+	if plain.Evals != cached.Evals || plain.Hours != cached.Hours {
+		t.Errorf("cached accounting differs: evals %d vs %d, sim %v vs %v h",
+			plain.Evals, cached.Evals, plain.Hours, cached.Hours)
 	}
 }

@@ -121,14 +121,14 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 		// parallel; charge the makespan to the simulated clock.
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, cfg.Workers)
-		delta := 0
 		advanced := make([]int, 0, len(alive))
+		preSpent := make(map[int]int, len(alive))
 		for _, ji := range alive {
 			d := target - jobs[ji].Spent()
 			if d <= 0 {
 				continue
 			}
-			delta += d
+			preSpent[ji] = jobs[ji].Spent()
 			advanced = append(advanced, ji)
 			wg.Add(1)
 			sem <- struct{}{}
@@ -139,6 +139,13 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 			}(jobs[ji], d)
 		}
 		wg.Wait()
+		// Count what the jobs actually spent, not what was requested: a dead
+		// remote job never advances, and charging its planned budget would
+		// inflate TotalEvals and the simulated clock with phantom work.
+		delta := 0
+		for _, ji := range advanced {
+			delta += jobs[ji].Spent() - preSpent[ji]
+		}
 		totalEvals += delta
 		if cfg.Clock != nil && len(alive) > 0 && delta > 0 {
 			// Makespan: candidates advance in parallel waves over Workers;
@@ -173,10 +180,12 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 			for _, ji := range alive {
 				d := cumBudget[last] - jobs[ji].Spent()
 				if d > 0 {
+					before := jobs[ji].Spent()
 					jobs[ji].Advance(d)
-					totalEvals += d
-					if cfg.Clock != nil {
-						cfg.Clock.Advance(float64(d) * cfg.EvalCostSeconds)
+					spent := jobs[ji].Spent() - before
+					totalEvals += spent
+					if cfg.Clock != nil && spent > 0 {
+						cfg.Clock.Advance(float64(spent) * cfg.EvalCostSeconds)
 					}
 				}
 			}

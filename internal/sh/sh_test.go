@@ -214,3 +214,36 @@ func TestConfigNormalizeDefaults(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// deadSearcher models a job whose worker vanished: Advance is a no-op and
+// Spent stays 0, exactly like a dist dead job or a remote job with a latched
+// transport error.
+type deadSearcher struct{}
+
+func (deadSearcher) Advance(int)               {}
+func (deadSearcher) History() ppa.History      { return nil }
+func (deadSearcher) RawHistory() ppa.History   { return nil }
+func (deadSearcher) Spent() int                { return 0 }
+func (deadSearcher) Best() (ppa.Metrics, bool) { return ppa.Metrics{}, false }
+
+// TestRunCountsActualEvalsNotPlannedBudget pins the accounting fix: a dead
+// job that never advances must not inflate TotalEvals (or the simulated
+// clock) with the budget it was merely asked to spend.
+func TestRunCountsActualEvalsNotPlannedBudget(t *testing.T) {
+	jobs := []mapsearch.Searcher{constLoss(1), constLoss(2), constLoss(3), deadSearcher{}}
+	var clk simclock.Clock
+	out := Run(jobs, Config{Eta: 2, KFrac: 0.5, PFrac: 0, BMax: 8, Workers: 2,
+		EvalCostSeconds: 1, Clock: &clk})
+
+	actual := 0
+	for _, j := range jobs {
+		actual += j.Spent()
+	}
+	if out.TotalEvals != actual {
+		t.Errorf("TotalEvals = %d, want the %d evaluations actually performed",
+			out.TotalEvals, actual)
+	}
+	if clk.Seconds() <= 0 {
+		t.Error("live candidates advanced but the clock did not")
+	}
+}

@@ -164,3 +164,65 @@ func DistJobs() *Gauge {
 	})
 	return distJobs
 }
+
+var (
+	cacheOnce    sync.Once
+	cacheHits    *Counter
+	cacheMisses  *Counter
+	cacheWaits   *Counter
+	cacheEntries *Gauge
+)
+
+func cacheMetrics() {
+	cacheOnce.Do(func() {
+		cacheHits = DefaultRegistry.Counter("unico_evalcache_hits_total",
+			"PPA evaluations served from the content-addressed cache.", nil)
+		cacheMisses = DefaultRegistry.Counter("unico_evalcache_misses_total",
+			"PPA evaluations computed by an engine and stored in the cache.", nil)
+		cacheWaits = DefaultRegistry.Counter("unico_evalcache_inflight_waits_total",
+			"PPA evaluations deduplicated against an identical in-flight computation.", nil)
+		cacheEntries = DefaultRegistry.Gauge("unico_evalcache_entries",
+			"Entries currently held by the PPA evaluation cache.", nil)
+	})
+}
+
+// EvalCacheHits counts PPA evaluations served from the evaluation cache.
+func EvalCacheHits() *Counter { cacheMetrics(); return cacheHits }
+
+// EvalCacheMisses counts PPA evaluations the cache had to compute and store.
+func EvalCacheMisses() *Counter { cacheMetrics(); return cacheMisses }
+
+// EvalCacheInflightWaits counts evaluations that joined (waited on) an
+// identical in-flight computation instead of recomputing it.
+func EvalCacheInflightWaits() *Counter { cacheMetrics(); return cacheWaits }
+
+// EvalCacheEntries gauges the current entry count of the evaluation cache.
+func EvalCacheEntries() *Gauge { cacheMetrics(); return cacheEntries }
+
+var (
+	distClientOnce  sync.Once
+	distRetries     *Counter
+	distEvictions   *Counter
+	distReadmission *Counter
+)
+
+func distClientMetrics() {
+	distClientOnce.Do(func() {
+		distRetries = DefaultRegistry.Counter("unico_dist_retries_total",
+			"Master-side HTTP retries against worker nodes.", nil)
+		distEvictions = DefaultRegistry.Counter("unico_dist_worker_evictions_total",
+			"Workers evicted from the rotation after consecutive failures.", nil)
+		distReadmission = DefaultRegistry.Counter("unico_dist_worker_readmissions_total",
+			"Evicted workers re-admitted after a successful probe.", nil)
+	})
+}
+
+// DistRetries counts master-side HTTP retries against worker nodes.
+func DistRetries() *Counter { distClientMetrics(); return distRetries }
+
+// DistWorkerEvictions counts workers evicted from the master's rotation.
+func DistWorkerEvictions() *Counter { distClientMetrics(); return distEvictions }
+
+// DistWorkerReadmissions counts evicted workers re-admitted after a
+// successful probe.
+func DistWorkerReadmissions() *Counter { distClientMetrics(); return distReadmission }

@@ -24,9 +24,12 @@ package unico
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"unico/internal/baselines"
 	"unico/internal/core"
+	"unico/internal/dist"
+	"unico/internal/evalcache"
 	"unico/internal/hw"
 	"unico/internal/mapsearch"
 	"unico/internal/platform"
@@ -141,6 +144,55 @@ func loadJSON(paths []string) ([]workload.Workload, error) {
 	return ws, nil
 }
 
+// RemoteOptions tunes the resilient worker clients built by
+// RemoteOpenSourcePlatform. The zero value uses the dist package defaults:
+// a 30 s request timeout, no retries, no client-side cache.
+type RemoteOptions struct {
+	// RequestTimeout bounds each worker request (default 30 s). A dead
+	// worker then costs one timeout instead of a hung co-search.
+	RequestTimeout time.Duration
+	// MaxRetries retries idempotent requests (PPA evaluations) after
+	// retryable failures, with exponential backoff and jitter.
+	MaxRetries int
+	// RetryBackoff is the initial retry delay (default 50 ms, doubling up
+	// to 2 s).
+	RetryBackoff time.Duration
+	// Cache enables a shared client-side evaluation cache for direct PPA
+	// requests (mapping-search jobs run worker-side; cache those with
+	// ppaserver's -cache flag instead).
+	Cache bool
+	// CacheSize bounds the client-side cache (entries; 0 = default ~1M).
+	CacheSize int
+}
+
+// RemoteOpenSourcePlatform builds the open-source platform over a pool of
+// ppaserver worker URLs — the master/slave deployment of the paper's Fig. 6b.
+// Workers that repeatedly fail are evicted from the job rotation and probed
+// for re-admission; a single dead worker costs timeouts, not the run.
+func RemoteOpenSourcePlatform(sc Scenario, workers []string, opts RemoteOptions, networks ...string) (*Platform, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("unico: no worker URLs given")
+	}
+	var cache *evalcache.Cache
+	if opts.Cache || opts.CacheSize > 0 {
+		cache = evalcache.New(opts.CacheSize)
+	}
+	clients := make([]*dist.Client, len(workers))
+	for i, u := range workers {
+		clients[i] = dist.NewClientOptions(u, nil, dist.Options{
+			Timeout:      opts.RequestTimeout,
+			MaxRetries:   opts.MaxRetries,
+			RetryBackoff: opts.RetryBackoff,
+			Cache:        cache,
+		})
+	}
+	rp, err := dist.NewRemoteSpatialPlatform(clients, sc, networks)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: rp}, nil
+}
+
 // Networks lists the model-zoo networks available to the platform
 // constructors.
 func Networks() []string {
@@ -190,6 +242,18 @@ type Config struct {
 	DisableRobustness bool
 	// TimeBudgetHours stops the search once the simulated clock passes it.
 	TimeBudgetHours float64
+	// Cache serves repeated PPA evaluations from a content-addressed cache
+	// instead of recomputing them. The engines are pure, so results are
+	// bit-identical with and without it — only faster. (The simulated-clock
+	// cost accounting is unchanged: the clock models the paper's evaluation
+	// budget, not host CPU time.)
+	Cache bool
+	// CacheSize bounds the evaluation cache (entries; 0 = default ~1M).
+	// Setting it implies Cache.
+	CacheSize int
+	// CacheFile warm-starts the cache from this JSONL file when it exists
+	// and saves the cache back on completion. Setting it implies Cache.
+	CacheFile string
 	// TraceWriter, if non-nil, receives the run's search events as Chrome
 	// trace_event JSONL (open with a trace viewer after `jq -s .`, or read
 	// line-by-line). Tracing never changes the search result.
@@ -260,6 +324,9 @@ type Result struct {
 	SimulatedHours float64
 	// Evaluations is the number of mapping budget units spent.
 	Evaluations int
+	// CacheHits and CacheMisses report the evaluation cache's counters for
+	// this run (both zero when Config.Cache was off).
+	CacheHits, CacheMisses uint64
 }
 
 // Optimize runs the selected co-optimization method on the platform.
@@ -269,6 +336,18 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 	}
 	cfg = cfg.normalize()
 	clock := &simclock.Clock{}
+
+	inner := p.inner
+	var cache *evalcache.Cache
+	if cfg.Cache || cfg.CacheSize > 0 || cfg.CacheFile != "" {
+		cache = evalcache.New(cfg.CacheSize)
+		if cfg.CacheFile != "" {
+			if _, err := cache.LoadFile(cfg.CacheFile); err != nil {
+				return nil, err
+			}
+		}
+		inner = withCache(inner, cache)
+	}
 
 	var tracer *telemetry.Tracer
 	if cfg.TraceWriter != nil {
@@ -299,14 +378,14 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
 		opt.Progress = progress
-		res = core.Run(p.inner, opt)
+		res = core.Run(inner, opt)
 	case MethodHASCO:
 		opt := baselines.HASCOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
 		opt.Progress = progress
-		res = core.Run(p.inner, opt)
+		res = core.Run(inner, opt)
 	case MethodMOBOHB:
 		opt := baselines.MOBOHBOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.Workers = cfg.Workers
@@ -314,9 +393,9 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
 		opt.Progress = progress
-		res = core.Run(p.inner, opt)
+		res = core.Run(inner, opt)
 	case MethodNSGAII:
-		res = baselines.NSGAII(p.inner, baselines.NSGAIIOptions{
+		res = baselines.NSGAII(inner, baselines.NSGAIIOptions{
 			Pop:             cfg.BatchSize,
 			Generations:     cfg.Iterations,
 			BMax:            cfg.BudgetMax,
@@ -336,7 +415,34 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 	if rep, ok := core.Representative(res.Front); ok {
 		out.Best = design(p, rep)
 	}
+	if cache != nil {
+		st := cache.Stats()
+		out.CacheHits, out.CacheMisses = st.Hits, st.Misses
+		if cfg.CacheFile != "" {
+			if err := cache.SaveFile(cfg.CacheFile); err != nil {
+				// The search itself succeeded; hand back the result along
+				// with the save failure.
+				return out, err
+			}
+		}
+	}
 	return out, nil
+}
+
+// withCache returns a platform whose PPA engines are wrapped with c, leaving
+// the caller's platform untouched. Platforms without local engines (the
+// remote master-side platform) pass through: their caching lives worker-side
+// or in the worker clients.
+func withCache(inner core.Platform, c *evalcache.Cache) core.Platform {
+	switch pl := inner.(type) {
+	case *platform.Spatial:
+		cp := *pl
+		return cp.EnableCache(c)
+	case *platform.Ascend:
+		cp := *pl
+		return cp.EnableCache(c)
+	}
+	return inner
 }
 
 func design(p *Platform, c core.Candidate) Design {

@@ -2,6 +2,8 @@ package unico
 
 import (
 	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -171,5 +173,86 @@ func TestOpenSourcePlatformFromJSON(t *testing.T) {
 	}
 	if _, err := OpenSourcePlatformFromJSON(Edge, dir+"/missing.json"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestOptimizeCacheBitIdentical(t *testing.T) {
+	run := func(cfg Config) *Result {
+		p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := Config{BatchSize: 4, Iterations: 2, BudgetMax: 10, Seed: 3}
+	plain := run(base)
+
+	withCache := base
+	withCache.Cache = true
+	cached := run(withCache)
+
+	if cached.CacheHits == 0 {
+		t.Error("cached run recorded no cache hits")
+	}
+	if !reflect.DeepEqual(plain.Front, cached.Front) {
+		t.Errorf("cached front differs:\n off %+v\n on  %+v", plain.Front, cached.Front)
+	}
+	if plain.Evaluations != cached.Evaluations || plain.SimulatedHours != cached.SimulatedHours {
+		t.Errorf("cached accounting differs: evals %d vs %d, sim %v vs %v h",
+			plain.Evaluations, cached.Evaluations, plain.SimulatedHours, cached.SimulatedHours)
+	}
+
+	// Optimize must not mutate the caller's platform when enabling the cache.
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(p, withCache); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Optimize(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != 0 || again.CacheMisses != 0 {
+		t.Error("cache leaked into a cache-off run on the same platform value")
+	}
+}
+
+func TestOptimizeCacheFileWarmStart(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "cache.jsonl")
+	cfg := Config{BatchSize: 4, Iterations: 2, BudgetMax: 10, Seed: 3, CacheFile: file}
+
+	run := func() *Result {
+		p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cold := run()
+	if cold.CacheMisses == 0 {
+		t.Fatal("cold run recorded no misses")
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("cache file not saved: %v", err)
+	}
+
+	warm := run()
+	if warm.CacheMisses != 0 {
+		t.Errorf("warm-started run recomputed %d evaluations", warm.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold.Front, warm.Front) {
+		t.Error("warm-started front differs from cold run")
 	}
 }
