@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"unico/internal/evalcache"
 	"unico/internal/experiments"
@@ -36,7 +39,14 @@ func main() {
 	useCache := flag.Bool("cache", false, "serve repeated PPA evaluations from a content-addressed cache shared by all runs")
 	cacheSize := flag.Int("cache-size", 0, "evaluation-cache entry bound (0 = default ~1M; implies -cache)")
 	cacheFile := flag.String("cache-file", "", "warm-start the cache from this JSONL file and save it back on exit (implies -cache)")
+	checkpointDir := flag.String("checkpoint-dir", "", "write per-run crash-safe checkpoints into this directory")
+	resume := flag.Bool("resume", false, "continue runs from existing checkpoints in -checkpoint-dir")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel in-flight co-searches; with -checkpoint-dir set,
+	// each interrupted run leaves a resumable checkpoint behind.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *metricsAddr != "" {
 		telemetry.ServeDebug(*metricsAddr, nil, func(err error) {
@@ -99,6 +109,15 @@ func main() {
 	}
 	if *seed != 0 {
 		s.Seed = *seed
+	}
+	s.Context = ctx
+	s.Resume = *resume
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		s.CheckpointDir = *checkpointDir
 	}
 
 	want := map[string]bool{}

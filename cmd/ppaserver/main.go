@@ -47,6 +47,8 @@ func main() {
 		"evaluation-cache entry bound (0 = default ~1M; implies -cache)")
 	cacheFile := flag.String("cache-file", "",
 		"warm-start the cache from this JSONL file and save it back on shutdown (implies -cache)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0,
+		"also save -cache-file periodically at this interval (atomic tmp+rename; 0 = only on shutdown), so a crash loses at most one interval of cache entries")
 	flag.Parse()
 
 	server := dist.NewServer()
@@ -81,6 +83,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if cache != nil && *cacheFile != "" && *checkpointEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*checkpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := cache.SaveFile(*cacheFile); err != nil {
+						log.Printf("ppaserver: periodic cache save: %v", err)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"unico"
 	"unico/internal/telemetry"
@@ -39,6 +42,10 @@ func main() {
 		traceFile   = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 		progress    = flag.Bool("progress", false, "print per-iteration convergence to stderr")
+
+		checkpointFile  = flag.String("checkpoint", "", "crash-safe checkpoint file: journal every iteration, snapshot periodically, final state on SIGINT/SIGTERM")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "snapshot cadence in iterations (0 = default 10)")
+		resume          = flag.Bool("resume", false, "continue from the -checkpoint file if it exists (fresh start otherwise)")
 
 		useCache  = flag.Bool("cache", false, "serve repeated PPA evaluations from a content-addressed cache")
 		cacheSize = flag.Int("cache-size", 0, "evaluation-cache entry bound (0 = default ~1M; implies -cache)")
@@ -137,6 +144,9 @@ func main() {
 		Cache:             *useCache,
 		CacheSize:         *cacheSize,
 		CacheFile:         *cacheFile,
+		CheckpointFile:    *checkpointFile,
+		CheckpointEvery:   *checkpointEvery,
+		Resume:            *resume,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -158,14 +168,30 @@ func main() {
 		}
 	}
 
-	res, err := unico.Optimize(p, cfg)
+	// SIGINT/SIGTERM cancel the run: in-flight work aborts, the current
+	// partial batch is discarded, a final checkpoint is written (when
+	// -checkpoint is set), and the partial result prints before exit. A
+	// second signal kills the process immediately (stop() restores default
+	// signal handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := unico.OptimizeContext(ctx, p, cfg)
 	if err != nil {
 		if res == nil {
 			fmt.Fprintln(os.Stderr, "unico:", err)
 			os.Exit(1)
 		}
-		// The search finished; only a post-run step (cache save) failed.
+		// The search finished; only a post-run step (cache save) or the
+		// checkpoint sink failed.
 		fmt.Fprintln(os.Stderr, "unico: warning:", err)
+	}
+	if ctx.Err() != nil {
+		if *checkpointFile != "" {
+			fmt.Fprintf(os.Stderr, "unico: interrupted; checkpoint written to %s (rerun with -resume to continue)\n", *checkpointFile)
+		} else {
+			fmt.Fprintln(os.Stderr, "unico: interrupted; partial result follows")
+		}
 	}
 
 	fmt.Printf("method=%s networks=%s scenario=%s\n", m, *networks, *scenario)

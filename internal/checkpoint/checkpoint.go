@@ -1,0 +1,266 @@
+// Package checkpoint persists a co-search run's state so a crashed or
+// killed process can resume bit-identically (internal/core defines the
+// record types and the resume semantics; this package owns the bytes).
+//
+// Two files per checkpoint path P:
+//
+//   - P is the snapshot: one JSON SnapshotRecord, replaced atomically
+//     (write tmp, fsync, rename) so a crash mid-write leaves the previous
+//     snapshot intact.
+//   - P.journal is the write-ahead journal: one framed record per completed
+//     iteration, appended and fsynced before the co-search proceeds. Each
+//     frame is an 8-byte header — payload length and IEEE CRC32, both
+//     little-endian uint32 — followed by the JSON payload. A crash mid-append
+//     leaves at most one torn trailing frame, which Load detects by length
+//     or checksum and truncates away (counted in telemetry).
+//
+// A successful snapshot resets the journal, so the journal only ever holds
+// the iterations since the last snapshot and both files stay bounded.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"unico/internal/core"
+	"unico/internal/telemetry"
+)
+
+// frameHeaderSize is the bytes of framing before each journal payload.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single journal record (a sanity check against
+// reading a garbage length from a corrupt header, not a real limit).
+const maxFrameSize = 1 << 30
+
+// ErrNoCheckpoint reports that the checkpoint path has no snapshot to
+// resume from.
+var ErrNoCheckpoint = errors.New("checkpoint: no snapshot found")
+
+// File is the file-backed core.CheckpointSink. Safe for use by one run at a
+// time; methods are serialized internally.
+type File struct {
+	mu       sync.Mutex
+	snapPath string
+	journal  *os.File
+}
+
+// Create opens (or continues) the checkpoint at path. An existing journal
+// is appended to — the resume path loads and truncates it first — and an
+// existing snapshot is kept until the next WriteSnapshot replaces it.
+func Create(path string) (*File, error) {
+	j, err := os.OpenFile(journalPath(path), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	return &File{snapPath: path, journal: j}, nil
+}
+
+func journalPath(path string) string { return path + ".journal" }
+
+// AppendIteration journals one completed iteration: frame the JSON payload,
+// append, fsync. The record is durable when this returns nil.
+func (f *File) AppendIteration(rec core.IterationRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.journal == nil {
+		return errors.New("checkpoint: sink is closed")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal iteration %d: %w", rec.Iter, err)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := f.journal.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append iteration %d: %w", rec.Iter, err)
+	}
+	if err := f.journal.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync journal: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot, then resets the journal:
+// the snapshot now subsumes every journaled iteration. If the process dies
+// between the two steps, Load ignores the journal records the snapshot
+// already covers.
+func (f *File) WriteSnapshot(snap core.SnapshotRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.journal == nil {
+		return errors.New("checkpoint: sink is closed")
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal snapshot: %w", err)
+	}
+	if err := atomicWrite(f.snapPath, payload); err != nil {
+		return err
+	}
+	// Reset the journal. Truncating through a fresh handle (rather than the
+	// append handle) keeps the append offset coherent on every platform.
+	if err := f.journal.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close journal: %w", err)
+	}
+	j, err := os.OpenFile(journalPath(f.snapPath), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: reset journal: %w", err)
+	}
+	f.journal = j
+	return nil
+}
+
+// Close releases the journal handle. The sink is unusable afterwards.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.journal == nil {
+		return nil
+	}
+	err := f.journal.Close()
+	f.journal = nil
+	return err
+}
+
+// atomicWrite writes data to path via tmp + fsync + rename, then
+// best-effort fsyncs the directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Exists reports whether a snapshot exists at path (i.e. Load can resume).
+func Exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Load reads the checkpoint at path into a core.ResumeState: the snapshot
+// plus the contiguous journal records after it. A torn trailing journal
+// frame — the expected residue of a crash mid-append — is truncated off the
+// file and counted in telemetry; the state resumes from the last durable
+// record. Returns ErrNoCheckpoint when no snapshot exists.
+func Load(path string) (*core.ResumeState, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w at %s", ErrNoCheckpoint, path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read snapshot: %w", err)
+	}
+	var snap core.SnapshotRecord
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode snapshot: %w", err)
+	}
+
+	recs, err := loadJournal(journalPath(path))
+	if err != nil {
+		return nil, err
+	}
+	// Keep only the contiguous run of records continuing the snapshot; a
+	// crash between snapshot-rename and journal-reset leaves records the
+	// snapshot already covers, which resume must not replay twice.
+	rs := &core.ResumeState{Snapshot: snap}
+	next := snap.Iter + 1
+	for _, rec := range recs {
+		if rec.Iter < next {
+			continue
+		}
+		if rec.Iter != next {
+			return nil, fmt.Errorf("checkpoint: journal gap: have iteration %d, want %d", rec.Iter, next)
+		}
+		rs.Tail = append(rs.Tail, rec)
+		next++
+	}
+	return rs, nil
+}
+
+// loadJournal parses every intact frame of the journal, truncating a torn
+// tail in place. A missing journal is an empty one.
+func loadJournal(path string) ([]core.IterationRecord, error) {
+	jf, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	defer jf.Close()
+	data, err := io.ReadAll(jf)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read journal: %w", err)
+	}
+
+	var recs []core.IterationRecord
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, nil // clean end
+		}
+		if len(rest) < frameHeaderSize {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxFrameSize || len(rest) < frameHeaderSize+n {
+			break // torn or garbage payload length
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn payload
+		}
+		var rec core.IterationRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // checksum ok but undecodable: treat as corrupt tail
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + n
+	}
+	// Torn tail: drop it so the next append starts at a frame boundary.
+	telemetry.CheckpointTornRecords().Inc()
+	if err := jf.Truncate(int64(off)); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncate torn journal tail: %w", err)
+	}
+	if err := jf.Sync(); err != nil {
+		return nil, fmt.Errorf("checkpoint: sync truncated journal: %w", err)
+	}
+	return recs, nil
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -90,6 +91,19 @@ type Options struct {
 	// simulated hours). The process-wide telemetry.EmitProgress sink fires
 	// regardless.
 	Progress ProgressFunc
+	// Checkpoint, if non-nil, receives a journal record after every
+	// completed iteration and an atomic snapshot every CheckpointEvery
+	// iterations (plus a genesis snapshot before the first). Checkpointing
+	// never influences the search: results are bit-identical with and
+	// without a sink.
+	Checkpoint CheckpointSink
+	// CheckpointEvery is the snapshot cadence in iterations (default 10).
+	CheckpointEvery int
+	// Resume, if non-nil, restores the run from a loaded checkpoint instead
+	// of starting fresh. The checkpoint's fingerprint must match this run's
+	// platform and options; on mismatch Run returns an empty Result with
+	// CheckpointErr wrapping ErrResumeMismatch.
+	Resume *ResumeState
 }
 
 // Progress is the per-iteration convergence snapshot delivered to
@@ -120,6 +134,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Clock == nil {
 		o.Clock = &simclock.Clock{}
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
 	}
 	return o
 }
@@ -183,6 +200,11 @@ type Result struct {
 	Hours float64
 	// Evals is the total number of PPA evaluations spent.
 	Evals int
+	// CheckpointErr is the first checkpointing or resume failure, if any.
+	// A resume fingerprint mismatch (ErrResumeMismatch) aborts the run; a
+	// checkpoint write failure latches here and disables further
+	// checkpointing but lets the search finish.
+	CheckpointErr error
 }
 
 // penaltyMetrics stands in for candidates with no feasible mapping: finite,
@@ -195,8 +217,19 @@ var penaltyMetrics = ppa.Metrics{
 	EnergyUJ:  1e16,
 }
 
-// Run executes Algorithm 1 on the platform.
+// Run executes Algorithm 1 on the platform with a background context; see
+// RunContext.
 func Run(p Platform, opt Options) Result {
+	return RunContext(context.Background(), p, opt)
+}
+
+// RunContext executes Algorithm 1 on the platform. Cancelling ctx stops the
+// run at the next safe point — in-flight mapping searches abort promptly,
+// the partially-evaluated batch is discarded, and the Result reflects every
+// iteration completed before the cancellation. With Options.Checkpoint set,
+// a final snapshot captures that same completed-iteration boundary, so a
+// resumed run continues bit-identically to an uninterrupted one.
+func RunContext(ctx context.Context, p Platform, opt Options) Result {
 	opt = opt.normalize()
 	tr := opt.Tracer
 	if tr == nil {
@@ -208,7 +241,63 @@ func Run(p Platform, opt Options) Result {
 	}
 	moboCfg := mobo.DefaultConfig(nObj)
 	moboCfg.Rule = opt.UpdateRule
-	explorer := mobo.New(p.Space(), moboCfg, opt.Seed)
+
+	var (
+		res      Result
+		explorer *mobo.Optimizer
+		lastIter int
+	)
+	if opt.Resume != nil {
+		var err error
+		explorer, res, lastIter, err = resumeRun(p, opt, moboCfg, opt.Resume)
+		if err != nil {
+			return Result{CheckpointErr: err}
+		}
+		telemetry.CheckpointResumes().Inc()
+	} else {
+		explorer = mobo.New(p.Space(), moboCfg, opt.Seed)
+	}
+
+	// sink is nilled out after the first write failure (latched in
+	// res.CheckpointErr) so one bad disk does not fail every iteration.
+	sink := opt.Checkpoint
+	checkpointFail := func(err error) {
+		if res.CheckpointErr == nil {
+			res.CheckpointErr = err
+		}
+		telemetry.CheckpointErrors().Inc()
+		sink = nil
+	}
+	snapshot := func(iter int, st mobo.State, seconds float64) {
+		if sink == nil {
+			return
+		}
+		err := sink.WriteSnapshot(SnapshotRecord{
+			Fingerprint:  fingerprintOf(p, opt),
+			Iter:         iter,
+			Explorer:     st,
+			All:          res.All,
+			Trace:        res.Trace,
+			Evals:        res.Evals,
+			ClockSeconds: seconds,
+		})
+		if err != nil {
+			checkpointFail(fmt.Errorf("core: write snapshot: %w", err))
+			return
+		}
+		telemetry.CheckpointSnapshots().Inc()
+	}
+	// The stream position and clock reading at the end of the last
+	// *completed* iteration: a cancellation mid-iteration must not leak the
+	// discarded batch's RNG draws or clock advances into the final
+	// snapshot, or the resumed run would diverge from an uninterrupted one.
+	lastRNGPos := explorer.RNGPos()
+	lastSeconds := opt.Clock.Seconds()
+	if opt.Resume == nil {
+		// Genesis snapshot: guarantees the checkpoint carries a fingerprint
+		// and explorer state even if the process dies before iteration 1.
+		snapshot(0, explorer.Export(), lastSeconds)
+	}
 
 	shCfg := sh.Config{
 		Eta:             2,
@@ -226,8 +315,10 @@ func Run(p Platform, opt Options) Result {
 		shCfg.PFrac = 0
 	}
 
-	var res Result
-	for iter := 1; iter <= opt.MaxIter; iter++ {
+	for iter := lastIter + 1; iter <= opt.MaxIter; iter++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if opt.TimeBudgetHours > 0 && opt.Clock.Hours() >= opt.TimeBudgetHours {
 			break
 		}
@@ -248,7 +339,15 @@ func Run(p Platform, opt Options) Result {
 		if opt.DisableSH {
 			outcome = runFullBudget(jobs, shCfg)
 		} else {
-			outcome = sh.Run(jobs, shCfg)
+			outcome = sh.Run(ctx, jobs, shCfg)
+		}
+		if ctx.Err() != nil {
+			// The batch was interrupted mid-search: its evaluations are
+			// incomplete and must not enter the result, the surrogate or
+			// the checkpoint. Discard it; resume re-runs the iteration.
+			closeJobs(jobs)
+			iterSpan.End(opt.Clock.Seconds(), map[string]any{"iter": iter, "canceled": true})
+			break
 		}
 		res.Evals += outcome.TotalEvals
 
@@ -286,6 +385,30 @@ func Run(p Platform, opt Options) Result {
 		})
 		telemetry.MOBOIterations().Inc()
 
+		// The iteration is complete: journal it, then snapshot on cadence.
+		lastIter = iter
+		lastRNGPos = explorer.RNGPos()
+		lastSeconds = opt.Clock.Seconds()
+		if sink != nil {
+			err := sink.AppendIteration(IterationRecord{
+				Iter:         iter,
+				Suggested:    xs,
+				Observations: obs,
+				Candidates:   res.All[len(res.All)-len(xs):],
+				Evals:        res.Evals,
+				ClockSeconds: lastSeconds,
+				RNGPos:       lastRNGPos,
+			})
+			if err != nil {
+				checkpointFail(fmt.Errorf("core: journal iteration %d: %w", iter, err))
+			} else {
+				telemetry.CheckpointRecords().Inc()
+				if iter%opt.CheckpointEvery == 0 {
+					snapshot(iter, explorer.Export(), lastSeconds)
+				}
+			}
+		}
+
 		hvSpan := tr.StartSpan("hypervolume", "core", 0, opt.Clock.Seconds())
 		hv := runningHypervolume(res.Front)
 		hvSpan.End(opt.Clock.Seconds(), map[string]any{"hv": hv, "front": len(res.Front)})
@@ -305,6 +428,14 @@ func Run(p Platform, opt Options) Result {
 		iterSpan.End(opt.Clock.Seconds(), map[string]any{
 			"iter": iter, "front": len(res.Front), "evals": res.Evals, "hv": hv,
 		})
+	}
+	// Final snapshot at the last completed-iteration boundary, with the RNG
+	// position and clock reading of that boundary (not of any discarded
+	// partial batch), so the checkpoint resumes bit-identically.
+	if sink != nil {
+		st := explorer.Export()
+		st.RNGPos = lastRNGPos
+		snapshot(lastIter, st, lastSeconds)
 	}
 	res.Hours = opt.Clock.Hours()
 	return res

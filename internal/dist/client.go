@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -106,10 +107,20 @@ func retryable(err error) error { return &retryableError{err: err} }
 
 // do sends one POST and decodes the JSON response, classifying failures as
 // retryable or not. 4xx responses carry a JSON error body the caller
-// inspects, so they decode normally and are never retried.
-func (c *Client) do(path string, body []byte, resp any) error {
-	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+// inspects, so they decode normally and are never retried. The request is
+// bound to ctx, so cancellation aborts an in-flight round trip promptly.
+func (c *Client) do(ctx context.Context, path string, body []byte, resp any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
+		return fmt.Errorf("dist: build request %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Deliberate cancellation is never retryable.
+			return fmt.Errorf("dist: post %s: %w", path, ctx.Err())
+		}
 		return retryable(fmt.Errorf("dist: post %s: %w", path, err))
 	}
 	defer httpResp.Body.Close()
@@ -124,52 +135,67 @@ func (c *Client) do(path string, body []byte, resp any) error {
 
 // post sends req as JSON and decodes the response into resp, without
 // retrying — the route may not be idempotent.
-func (c *Client) post(path string, req, resp any) error {
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", path, err)
 	}
-	return c.do(path, body, resp)
+	return c.do(ctx, path, body, resp)
 }
 
 // postIdempotent is post with up to MaxRetries retries on retryable
 // failures, backing off exponentially with jitter so a pool of masters does
-// not hammer a recovering worker in lockstep.
-func (c *Client) postIdempotent(path string, req, resp any) error {
+// not hammer a recovering worker in lockstep. Cancelling ctx aborts both
+// in-flight requests and backoff sleeps.
+func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", path, err)
 	}
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := c.do(path, body, resp)
+		err := c.do(ctx, path, body, resp)
 		var r *retryableError
 		if err == nil || attempt >= c.opts.MaxRetries || !errors.As(err, &r) {
 			return err
 		}
 		telemetry.DistRetries().Inc()
-		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("dist: post %s: %w", path, ctx.Err())
+		case <-timer.C:
+		}
 		if backoff *= 2; backoff > c.opts.MaxBackoff {
 			backoff = c.opts.MaxBackoff
 		}
 	}
 }
 
-// EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely. The
-// route is a pure function of the request, so it retries on retryable
-// failures and, when Options.Cache is set, serves repeats from the
+// EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely with
+// a background context; see EvaluatePPAContext.
+func (c *Client) EvaluatePPA(req PPARequest) (PPAResponse, error) {
+	return c.EvaluatePPAContext(context.Background(), req)
+}
+
+// EvaluatePPAContext evaluates one (hardware, mapping, layer) triple
+// remotely. The route is a pure function of the request, so it retries on
+// retryable failures and, when Options.Cache is set, serves repeats from the
 // content-addressed cache without touching the network. The returned error
 // covers transport only; evaluation failures arrive in PPAResponse.Error.
-func (c *Client) EvaluatePPA(req PPARequest) (PPAResponse, error) {
+// Cancelling ctx aborts in-flight requests and retry backoffs.
+func (c *Client) EvaluatePPAContext(ctx context.Context, req PPARequest) (PPAResponse, error) {
 	if c.opts.Cache == nil {
-		return c.evaluatePPA(req)
+		return c.evaluatePPA(ctx, req)
 	}
 	key, engine, ok := cacheKeyFor(&req)
 	if !ok {
-		return c.evaluatePPA(req)
+		return c.evaluatePPA(ctx, req)
 	}
 	met, err := c.opts.Cache.Do(key, engine, func() (ppa.Metrics, error) {
-		resp, err := c.evaluatePPA(req)
+		resp, err := c.evaluatePPA(ctx, req)
 		if err != nil {
 			// A network failure says nothing about the triple — do not cache.
 			return ppa.Metrics{}, evalcache.Uncachable(err)
@@ -193,9 +219,9 @@ func (c *Client) EvaluatePPA(req PPARequest) (PPAResponse, error) {
 	return PPAResponse{}, err
 }
 
-func (c *Client) evaluatePPA(req PPARequest) (PPAResponse, error) {
+func (c *Client) evaluatePPA(ctx context.Context, req PPARequest) (PPAResponse, error) {
 	var resp PPAResponse
-	if err := c.postIdempotent("/v1/ppa", req, &resp); err != nil {
+	if err := c.postIdempotent(ctx, "/v1/ppa", req, &resp); err != nil {
 		return PPAResponse{}, err
 	}
 	return resp, nil
@@ -248,11 +274,17 @@ func cacheKeyFor(req *PPARequest) (evalcache.Key, string, bool) {
 	return evalcache.Key{}, "", false
 }
 
-// CreateJob creates a mapping-search job on the worker. Not retried: after
-// an ambiguous failure a retry could leave an orphaned duplicate job.
+// CreateJob creates a mapping-search job on the worker with a background
+// context; see CreateJobContext.
 func (c *Client) CreateJob(spec JobSpec) (string, error) {
+	return c.CreateJobContext(context.Background(), spec)
+}
+
+// CreateJobContext creates a mapping-search job on the worker. Not retried:
+// after an ambiguous failure a retry could leave an orphaned duplicate job.
+func (c *Client) CreateJobContext(ctx context.Context, spec JobSpec) (string, error) {
 	var resp JobCreateResponse
-	if err := c.post("/v1/jobs", spec, &resp); err != nil {
+	if err := c.post(ctx, "/v1/jobs", spec, &resp); err != nil {
 		return "", err
 	}
 	if resp.Error != "" {
@@ -261,12 +293,18 @@ func (c *Client) CreateJob(spec JobSpec) (string, error) {
 	return resp.ID, nil
 }
 
-// AdvanceJob spends budget on a job and returns its state (budget 0 just
-// polls). Not retried: a retry after an ambiguous failure could spend the
-// budget twice.
+// AdvanceJob spends budget on a job with a background context; see
+// AdvanceJobContext.
 func (c *Client) AdvanceJob(id string, budget int) (JobState, error) {
+	return c.AdvanceJobContext(context.Background(), id, budget)
+}
+
+// AdvanceJobContext spends budget on a job and returns its state (budget 0
+// just polls). Not retried: a retry after an ambiguous failure could spend
+// the budget twice.
+func (c *Client) AdvanceJobContext(ctx context.Context, id string, budget int) (JobState, error) {
 	var state JobState
-	if err := c.post("/v1/jobs/advance", AdvanceRequest{ID: id, Budget: budget}, &state); err != nil {
+	if err := c.post(ctx, "/v1/jobs/advance", AdvanceRequest{ID: id, Budget: budget}, &state); err != nil {
 		return JobState{}, err
 	}
 	if state.Error != "" {
@@ -331,12 +369,21 @@ func NewRemoteJob(client *Client, spec JobSpec) (*remoteJob, error) {
 // reports no feasible result afterwards, which the co-optimizer treats as an
 // infeasible candidate rather than crashing the whole search.
 func (j *remoteJob) Advance(budget int) {
-	if j.err != nil {
+	j.AdvanceContext(context.Background(), budget)
+}
+
+// AdvanceContext implements mapsearch.ContextAdvancer: cancelling ctx aborts
+// the in-flight worker round trip. A cancellation does not latch — the job
+// stays usable, so a resumed run can keep driving it.
+func (j *remoteJob) AdvanceContext(ctx context.Context, budget int) {
+	if j.err != nil || ctx.Err() != nil {
 		return
 	}
-	state, err := j.client.AdvanceJob(j.id, budget)
+	state, err := j.client.AdvanceJobContext(ctx, j.id, budget)
 	if err != nil {
-		j.err = err
+		if ctx.Err() == nil {
+			j.err = err
+		}
 		return
 	}
 	j.state = state

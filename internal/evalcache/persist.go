@@ -12,6 +12,7 @@ import (
 	"unico/internal/camodel"
 	"unico/internal/maestro"
 	"unico/internal/ppa"
+	"unico/internal/telemetry"
 )
 
 // record is the JSONL wire form of one cache entry. Successful evaluations
@@ -73,8 +74,9 @@ func (c *Cache) WriteJSONL(w io.Writer) error {
 }
 
 // ReadJSONL loads entries from one-JSON-object-per-line input, returning how
-// many were stored. Malformed lines are skipped (a truncated final line from
-// an interrupted save must not poison the warm start); a read error aborts.
+// many were stored. Malformed lines are skipped and counted in telemetry (a
+// truncated final line from an interrupted save must not poison the warm
+// start); a read error aborts.
 func (c *Cache) ReadJSONL(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -82,10 +84,12 @@ func (c *Cache) ReadJSONL(r io.Reader) (int, error) {
 	for sc.Scan() {
 		var rec record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			telemetry.EvalCacheSkippedLines().Inc()
 			continue
 		}
 		key, ok := parseKey(rec.Key)
 		if !ok {
+			telemetry.EvalCacheSkippedLines().Inc()
 			continue
 		}
 		e := &entry{key: key, engine: rec.Engine}
@@ -99,6 +103,7 @@ func (c *Cache) ReadJSONL(r io.Reader) (int, error) {
 		case rec.Metrics != nil:
 			e.met = *rec.Metrics
 		default:
+			telemetry.EvalCacheSkippedLines().Inc()
 			continue
 		}
 		c.put(e)
@@ -126,8 +131,9 @@ func (c *Cache) LoadFile(path string) (int, error) {
 }
 
 // SaveFile persists the cache to path as JSONL, writing a temporary file in
-// the same directory and renaming it into place so a crash mid-save never
-// truncates an existing warm-start file.
+// the same directory, fsyncing it and renaming it into place, so a crash
+// mid-save never truncates an existing warm-start file and the renamed data
+// is actually on disk when SaveFile returns.
 func (c *Cache) SaveFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -139,11 +145,20 @@ func (c *Cache) SaveFile(path string) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("evalcache: save %s: %w", path, err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("evalcache: save %s: %w", path, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("evalcache: save %s: %w", path, err)
+	}
+	// Best-effort directory sync makes the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

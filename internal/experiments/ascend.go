@@ -68,7 +68,7 @@ func RunAscend(w io.Writer, s Scale) AscendResult {
 		// core: the front design with the best joint latency-and-power
 		// improvement factor over the expert configuration.
 		opt := core.UNICOOptions(s.AscendBatch, s.AscendIter, s.AscendBMax, seed)
-		res := core.Run(p, opt)
+		res := s.run("fig11-unico-"+net.Name, p, opt)
 		rep, repOK := bestVersusDefault(res.Front, defMet)
 		if !defOK || !repOK {
 			fprintf(w, "%-16s skipped (default ok=%v, front ok=%v)\n", net.Name, defOK, repOK)

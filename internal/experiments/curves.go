@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"sort"
 
@@ -92,12 +93,12 @@ func RunHypervolumeCurves(w io.Writer, sc hw.Scenario, s Scale) CurveResult {
 		{"MOBOHB", func(p core.Platform, seed int64, budget float64) core.Result {
 			opt := baselines.MOBOHBOptions(s.Batch, manyIters, s.BMax, seed)
 			opt.TimeBudgetHours = budget
-			return core.Run(p, opt)
+			return s.run(fmt.Sprintf("fig7-%s-mobohb-seed%d", sc, seed), p, opt)
 		}},
 		{"UNICO", func(p core.Platform, seed int64, budget float64) core.Result {
 			opt := core.UNICOOptions(s.Batch, manyIters, s.BMax, seed)
 			opt.TimeBudgetHours = budget
-			return core.Run(p, opt)
+			return s.run(fmt.Sprintf("fig7-%s-unico-seed%d", sc, seed), p, opt)
 		}},
 	}
 	nets := workload.Table12Networks()
@@ -118,17 +119,17 @@ func RunAblation(w io.Writer, s Scale) CurveResult {
 		{"SH+Champion", func(p core.Platform, seed int64, budget float64) core.Result {
 			opt := baselines.SHChampionOptions(s.Batch, manyIters, s.BMax, seed)
 			opt.TimeBudgetHours = budget
-			return core.Run(p, opt)
+			return s.run(fmt.Sprintf("fig10-shchampion-seed%d", seed), p, opt)
 		}},
 		{"MSH+Champion", func(p core.Platform, seed int64, budget float64) core.Result {
 			opt := baselines.MSHChampionOptions(s.Batch, manyIters, s.BMax, seed)
 			opt.TimeBudgetHours = budget
-			return core.Run(p, opt)
+			return s.run(fmt.Sprintf("fig10-mshchampion-seed%d", seed), p, opt)
 		}},
 		{"UNICO", func(p core.Platform, seed int64, budget float64) core.Result {
 			opt := core.UNICOOptions(s.Batch, manyIters, s.BMax, seed)
 			opt.TimeBudgetHours = budget
-			return core.Run(p, opt)
+			return s.run(fmt.Sprintf("fig10-unico-seed%d", seed), p, opt)
 		}},
 	}
 	nets := []workload.Workload{workload.UNet(), workload.SRGAN(), workload.BERT(), workload.ViT()}

@@ -11,10 +11,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
+	"unico/internal/checkpoint"
 	"unico/internal/core"
 	"unico/internal/hw"
 	"unico/internal/mapsearch"
@@ -47,6 +51,47 @@ type Scale struct {
 	AscendBatch, AscendIter, AscendBMax int
 	// Seed makes every runner deterministic.
 	Seed int64
+	// Context, when non-nil, cancels in-flight co-search runs (SIGINT
+	// handling in cmd/experiments); nil behaves like context.Background().
+	Context context.Context
+	// CheckpointDir, when set, gives every core co-search run within an
+	// experiment a crash-safe checkpoint file named after the run.
+	CheckpointDir string
+	// Resume continues runs from existing checkpoints in CheckpointDir
+	// (completed runs replay from their records instead of re-searching).
+	Resume bool
+}
+
+// run executes one core co-search under the scale's cancellation context
+// and, when CheckpointDir is set, with a crash-safe checkpoint named after
+// the run. Checkpoint failures degrade to an uncheckpointed run (reported
+// on stderr) rather than failing the experiment.
+func (s Scale) run(name string, p core.Platform, opt core.Options) core.Result {
+	ctx := s.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.CheckpointDir != "" {
+		path := filepath.Join(s.CheckpointDir, name+".ckpt")
+		if s.Resume && checkpoint.Exists(path) {
+			if rs, err := checkpoint.Load(path); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: load checkpoint %s: %v (starting fresh)\n", path, err)
+			} else {
+				opt.Resume = rs
+			}
+		}
+		if sink, err := checkpoint.Create(path); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: open checkpoint %s: %v (running without)\n", path, err)
+		} else {
+			defer sink.Close()
+			opt.Checkpoint = sink
+		}
+	}
+	res := core.RunContext(ctx, p, opt)
+	if res.CheckpointErr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, res.CheckpointErr)
+	}
+	return res
 }
 
 // PaperScale returns the paper's experimental settings (Section 4.1/4.6).

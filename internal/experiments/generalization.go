@@ -50,7 +50,7 @@ func RunGeneralization(w io.Writer, s Scale) GeneralizationResult {
 	// scales (R is a distributional statistic of the mapping search).
 	iters, bmax := max(s.MaxIter, 8), max(s.BMax, 80)
 	s.BMax = bmax
-	unicoRes := core.Run(p, core.UNICOOptions(s.Batch, iters, bmax, s.Seed))
+	unicoRes := s.run("fig9-unico", p, core.UNICOOptions(s.Batch, iters, bmax, s.Seed))
 	hascoRes := baselines.HASCO(p, s.Batch, max(s.HASCOIter, 8), bmax, s.Seed+7, nil, 0)
 
 	out := GeneralizationResult{}

@@ -59,7 +59,7 @@ func RunRobustnessIndicator(w io.Writer, s Scale) RobustnessResult {
 	iters, bmax := max(s.MaxIter, 8), max(s.BMax, 80)
 	opt := core.UNICOOptions(s.Batch, iters, bmax, s.Seed)
 	opt.UseRobustness = false // R is measured, not optimized, in this study
-	res := core.Run(p, opt)
+	res := s.run("fig8-unico", p, opt)
 	s.BMax = bmax
 
 	fprintf(w, "=== Figure 8: metric R as a generalization indicator ===\n")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"unico/internal/baselines"
@@ -53,7 +54,8 @@ func RunEdgeCloudTable(w io.Writer, sc hw.Scenario, s Scale) TableResult {
 			{"NSGAII", baselines.NSGAII(p, baselines.NSGAIIOptions{
 				Pop: s.NSGAPop, Generations: s.NSGAGen, BMax: s.BMax, Seed: seed + 1,
 			})},
-			{"UNICO", core.Run(p, core.UNICOOptions(s.Batch, uIter, s.BMax, seed+2))},
+			{"UNICO", s.run(fmt.Sprintf("table-%s-%s-unico", sc, net.Name), p,
+				core.UNICOOptions(s.Batch, uIter, s.BMax, seed+2))},
 		}
 
 		// A shared normalization pool over the three fronts keeps the

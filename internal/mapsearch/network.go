@@ -1,6 +1,7 @@
 package mapsearch
 
 import (
+	"context"
 	"math"
 
 	"unico/internal/ppa"
@@ -48,6 +49,26 @@ type Searcher interface {
 	// fluctuating loss curve of paper Fig. 5a that the robustness metric R
 	// observes. Unlike History it is not monotone.
 	RawHistory() ppa.History
+}
+
+// ContextAdvancer is an optional Searcher extension for cancelable budget
+// installments: AdvanceContext stops early (leaving the searcher resumable,
+// with whatever budget it actually spent recorded) once ctx is canceled.
+// Schedulers use it when available so a shutdown signal interrupts long
+// advances promptly; with an un-canceled ctx it must behave exactly like
+// Advance.
+type ContextAdvancer interface {
+	AdvanceContext(ctx context.Context, budget int)
+}
+
+// AdvanceSearcher advances a searcher through its ContextAdvancer fast path
+// when it has one, falling back to the plain (non-cancelable) Advance.
+func AdvanceSearcher(ctx context.Context, s Searcher, budget int) {
+	if ca, ok := s.(ContextAdvancer); ok {
+		ca.AdvanceContext(ctx, budget)
+		return
+	}
+	s.Advance(budget)
 }
 
 // NetworkSearcher drives one LayerSearcher per distinct layer shape and
@@ -143,6 +164,18 @@ func (n *NetworkSearcher) Advance(budget int) {
 		} else {
 			n.rawHist = append(n.rawHist, ppa.Point{Budget: n.spent, Loss: PenaltyLoss})
 		}
+	}
+}
+
+// AdvanceContext spends up to budget units, stopping between units once ctx
+// is canceled. Uncanceled it is identical to Advance, unit for unit, so
+// enabling cancellation never perturbs a run's determinism.
+func (n *NetworkSearcher) AdvanceContext(ctx context.Context, budget int) {
+	for u := 0; u < budget; u++ {
+		if ctx.Err() != nil {
+			return
+		}
+		n.Advance(1)
 	}
 }
 

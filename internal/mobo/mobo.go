@@ -105,7 +105,9 @@ func DefaultConfig(nObj int) Config {
 type Optimizer struct {
 	space Space
 	cfg   Config
+	seed  int64
 	rng   *rand.Rand
+	src   *countingSource
 
 	// train is the surrogate's training set (the high-fidelity subset of
 	// all evaluations); all keeps every observation for normalization and
@@ -143,10 +145,13 @@ func New(space Space, cfg Config, seed int64) *Optimizer {
 		cfg.MaxTrain = 150
 	}
 	nObj := len(cfg.Weights)
+	src := newCountingSource(seed)
 	return &Optimizer{
 		space: space,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		rng:   rand.New(src),
+		src:   src,
 		seen:  map[string]bool{},
 		vBest: math.Inf(1),
 		uul:   math.Inf(1),

@@ -1,0 +1,188 @@
+package mobo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// countingSource wraps the optimizer's random source and counts how many
+// values have been drawn from it. math/rand's source advances by exactly one
+// step per Int63 or Uint64 call, so the count is a stream position: two
+// sources with the same seed and the same position produce the same future
+// draws. That is what lets a resumed run replay the optimizer's RNG without
+// serializing the source's internal state — the checkpoint records the
+// position, and SeekRNG burns draws until a fresh source catches up.
+type countingSource struct {
+	src rand.Source64
+	pos uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	// rand.NewSource's concrete type implements Source64 (documented since
+	// Go 1.8), so the assertion cannot fail.
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.pos++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.pos++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.pos = 0
+}
+
+// RNGPos returns the optimizer's RNG stream position: how many values have
+// been drawn since the source was seeded.
+func (o *Optimizer) RNGPos() uint64 { return o.src.pos }
+
+// SeekRNG fast-forwards the optimizer's RNG to stream position pos by
+// discarding draws. Seeking backwards is impossible for a forward-only
+// stream and reports an error.
+func (o *Optimizer) SeekRNG(pos uint64) error {
+	if pos < o.src.pos {
+		return fmt.Errorf("mobo: cannot seek RNG backwards (at %d, want %d)", o.src.pos, pos)
+	}
+	for o.src.pos < pos {
+		o.src.Uint64()
+	}
+	return nil
+}
+
+// ExtFloat is a float64 whose JSON form round-trips ±Inf (as the strings
+// "+Inf" and "-Inf"), which encoding/json rejects for plain floats. The
+// optimizer's v_best and UUL start at +Inf, so a state exported before the
+// first surrogate update needs it.
+type ExtFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f ExtFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *ExtFloat) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "+Inf":
+			*f = ExtFloat(math.Inf(1))
+		case "-Inf":
+			*f = ExtFloat(math.Inf(-1))
+		case "NaN":
+			*f = ExtFloat(math.NaN())
+		default:
+			return fmt.Errorf("mobo: bad ExtFloat %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = ExtFloat(v)
+	return nil
+}
+
+// State is the serializable state of an Optimizer: everything Restore needs
+// to rebuild an explorer that behaves bit-identically to the original. The
+// Gaussian processes, duplicate-suppression set and normalization bounds are
+// not stored — they are deterministic functions of the observation lists and
+// are recomputed on restore.
+type State struct {
+	// Seed is the seed the optimizer was built with.
+	Seed int64 `json:"seed"`
+	// RNGPos is the RNG stream position (draws consumed since seeding).
+	RNGPos uint64 `json:"rng_pos"`
+	// Train is the surrogate training set, in admission order.
+	Train []Observation `json:"train"`
+	// All is every observation ever ingested, in ingestion order.
+	All []Observation `json:"all"`
+	// VBest is the best ParEGO scalar seen by the high-fidelity rule.
+	VBest ExtFloat `json:"v_best"`
+	// DSet is the distance set the Upper Update Limit is quantiled from.
+	DSet []float64 `json:"d_set"`
+	// UUL is the current Upper Update Limit.
+	UUL ExtFloat `json:"uul"`
+}
+
+// Export captures the optimizer's state for checkpointing. The returned
+// State aliases no optimizer-internal memory.
+func (o *Optimizer) Export() State {
+	return State{
+		Seed:   o.seed,
+		RNGPos: o.src.pos,
+		Train:  cloneObservations(o.train),
+		All:    cloneObservations(o.all),
+		VBest:  ExtFloat(o.vBest),
+		DSet:   append([]float64(nil), o.dSet...),
+		UUL:    ExtFloat(o.uul),
+	}
+}
+
+// Restore rebuilds an optimizer from an exported State. space and cfg must
+// match the ones the state was exported under; the observation lists are
+// validated against cfg's objective count. The restored optimizer's future
+// SuggestBatch/Update behaviour is bit-identical to the original's.
+func Restore(space Space, cfg Config, st State) (*Optimizer, error) {
+	o := New(space, cfg, st.Seed)
+	n := o.NumObjectives()
+	for i, ob := range st.All {
+		if len(ob.Y) != n {
+			return nil, fmt.Errorf("mobo: restore: observation %d has %d objectives, config wants %d", i, len(ob.Y), n)
+		}
+	}
+	for _, ob := range st.Train {
+		if len(ob.Y) != n {
+			return nil, fmt.Errorf("mobo: restore: training point has %d objectives, config wants %d", len(ob.Y), n)
+		}
+	}
+	o.all = cloneObservations(st.All)
+	o.train = cloneObservations(st.Train)
+	for _, ob := range o.all {
+		o.seen[o.space.Key(ob.X)] = true
+	}
+	o.vBest = float64(st.VBest)
+	o.dSet = append([]float64(nil), st.DSet...)
+	o.uul = float64(st.UUL)
+	if len(o.all) > 0 {
+		o.refreshBounds()
+	}
+	o.fit()
+	if err := o.SeekRNG(st.RNGPos); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// cloneObservations deep-copies an observation list.
+func cloneObservations(obs []Observation) []Observation {
+	if obs == nil {
+		return nil
+	}
+	out := make([]Observation, len(obs))
+	for i, ob := range obs {
+		out[i] = Observation{
+			X: append([]float64(nil), ob.X...),
+			Y: append([]float64(nil), ob.Y...),
+		}
+	}
+	return out
+}

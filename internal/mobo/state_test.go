@@ -1,0 +1,107 @@
+package mobo
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// drive runs iters suggest/update rounds against the synthetic objective.
+func drive(o *Optimizer, iters, batch, nObj int) [][][]float64 {
+	var suggested [][][]float64
+	for i := 0; i < iters; i++ {
+		xs := o.SuggestBatch(batch)
+		suggested = append(suggested, xs)
+		obs := make([]Observation, len(xs))
+		for j, x := range xs {
+			obs[j] = Observation{X: x, Y: synthObjectives(x, nObj)}
+		}
+		o.Update(obs)
+	}
+	return suggested
+}
+
+// TestExportRestoreBitIdentical is the package-level half of the resume
+// guarantee: an optimizer restored from an exported State suggests exactly
+// the same future batches as the original would have.
+func TestExportRestoreBitIdentical(t *testing.T) {
+	const nObj, batch = 3, 8
+	cfg := DefaultConfig(nObj)
+
+	ref := New(testSpace(), cfg, 42)
+	drive(ref, 3, batch, nObj)
+	tail := drive(ref, 3, batch, nObj)
+
+	cut := New(testSpace(), cfg, 42)
+	drive(cut, 3, batch, nObj)
+	st := cut.Export()
+
+	// Round-trip the state through JSON, as the checkpoint file does.
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	restored, err := Restore(testSpace(), cfg, back)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if restored.RNGPos() != cut.RNGPos() {
+		t.Fatalf("RNG position %d, want %d", restored.RNGPos(), cut.RNGPos())
+	}
+	if restored.TrainSize() != cut.TrainSize() {
+		t.Fatalf("train size %d, want %d", restored.TrainSize(), cut.TrainSize())
+	}
+	got := drive(restored, 3, batch, nObj)
+	if !reflect.DeepEqual(got, tail) {
+		t.Fatalf("restored optimizer diverged from original:\n got %v\nwant %v", got, tail)
+	}
+}
+
+// TestExportBeforeFirstUpdate pins that the +Inf v_best/UUL of a fresh
+// optimizer survive the JSON round trip.
+func TestExportBeforeFirstUpdate(t *testing.T) {
+	o := New(testSpace(), DefaultConfig(3), 1)
+	st := o.Export()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal fresh state: %v", err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal fresh state: %v", err)
+	}
+	if !math.IsInf(float64(back.VBest), 1) || !math.IsInf(float64(back.UUL), 1) {
+		t.Fatalf("Inf fields did not round-trip: vBest=%v uul=%v", back.VBest, back.UUL)
+	}
+	if _, err := Restore(testSpace(), DefaultConfig(3), back); err != nil {
+		t.Fatalf("restore fresh state: %v", err)
+	}
+}
+
+// TestRestoreRejectsObjectiveMismatch guards against resuming a run with a
+// different objective count (e.g. robustness toggled between runs).
+func TestRestoreRejectsObjectiveMismatch(t *testing.T) {
+	o := New(testSpace(), DefaultConfig(4), 1)
+	drive(o, 1, 4, 4)
+	st := o.Export()
+	if _, err := Restore(testSpace(), DefaultConfig(3), st); err == nil {
+		t.Fatal("restore with mismatched objective count succeeded")
+	}
+}
+
+// TestSeekRNGBackwardsFails pins the forward-only contract.
+func TestSeekRNGBackwardsFails(t *testing.T) {
+	o := New(testSpace(), DefaultConfig(3), 1)
+	o.SuggestBatch(4)
+	if o.RNGPos() == 0 {
+		t.Fatal("SuggestBatch consumed no RNG draws")
+	}
+	if err := o.SeekRNG(0); err == nil {
+		t.Fatal("backwards seek succeeded")
+	}
+}

@@ -9,6 +9,7 @@
 package sh
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -89,8 +90,10 @@ type Outcome struct {
 
 // Run schedules the software-mapping searches of a batch of hardware
 // candidates with (modified) successive halving. Every job must be fresh
-// (zero budget spent).
-func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
+// (zero budget spent). Canceling ctx stops the schedule between (and, for
+// cancelable jobs, within) rounds; the outcome then reflects the budget
+// actually spent, so callers can checkpoint or discard the partial batch.
+func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 	cfg = cfg.normalize()
 	n := len(jobs)
 	if n == 0 {
@@ -115,6 +118,9 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 	}
 	totalEvals := 0
 	for r := 0; r < rounds; r++ {
+		if ctx.Err() != nil {
+			break
+		}
 		target := cumBudget[r]
 		simStart := simNow(cfg.Clock)
 		// Advance all alive candidates to the round's cumulative budget, in
@@ -135,7 +141,7 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 			go func(j mapsearch.Searcher, d int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				j.Advance(d)
+				mapsearch.AdvanceSearcher(ctx, j, d)
 			}(jobs[ji], d)
 		}
 		wg.Wait()
@@ -181,7 +187,7 @@ func Run(jobs []mapsearch.Searcher, cfg Config) Outcome {
 				d := cumBudget[last] - jobs[ji].Spent()
 				if d > 0 {
 					before := jobs[ji].Spent()
-					jobs[ji].Advance(d)
+					mapsearch.AdvanceSearcher(ctx, jobs[ji], d)
 					spent := jobs[ji].Spent() - before
 					totalEvals += spent
 					if cfg.Clock != nil && spent > 0 {

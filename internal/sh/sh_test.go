@@ -1,6 +1,7 @@
 package sh
 
 import (
+	"context"
 	"testing"
 
 	"unico/internal/mapsearch"
@@ -53,7 +54,7 @@ func TestRunBudgetLadder(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = constLoss(float64(i + 1))
 	}
-	out := Run(jobs, Config{Eta: 2, KFrac: 0.5, PFrac: 0, BMax: 64, Workers: 4})
+	out := Run(context.Background(), jobs, Config{Eta: 2, KFrac: 0.5, PFrac: 0, BMax: 64, Workers: 4})
 	if out.Rounds != 3 { // ceil(log2(8))
 		t.Errorf("Rounds = %d, want 3", out.Rounds)
 	}
@@ -75,14 +76,14 @@ func TestRunBudgetLadder(t *testing.T) {
 
 func TestRunSingleJobGetsFullBudget(t *testing.T) {
 	jobs := []mapsearch.Searcher{constLoss(1)}
-	Run(jobs, Config{BMax: 32})
+	Run(context.Background(), jobs, Config{BMax: 32})
 	if jobs[0].Spent() != 32 {
 		t.Errorf("lone job spent %d, want 32", jobs[0].Spent())
 	}
 }
 
 func TestRunEmpty(t *testing.T) {
-	out := Run(nil, Config{BMax: 10})
+	out := Run(context.Background(), nil, Config{BMax: 10})
 	if out.TotalEvals != 0 || len(out.Histories) != 0 {
 		t.Errorf("empty run produced %+v", out)
 	}
@@ -189,7 +190,7 @@ func TestClockChargesParallelMakespan(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = constLoss(float64(i + 1))
 	}
-	Run(jobs, Config{BMax: 16, Workers: 4, EvalCostSeconds: 1, Clock: &clk})
+	Run(context.Background(), jobs, Config{BMax: 16, Workers: 4, EvalCostSeconds: 1, Clock: &clk})
 	seq := 0
 	for _, j := range jobs {
 		seq += j.Spent()
@@ -232,7 +233,7 @@ func (deadSearcher) Best() (ppa.Metrics, bool) { return ppa.Metrics{}, false }
 func TestRunCountsActualEvalsNotPlannedBudget(t *testing.T) {
 	jobs := []mapsearch.Searcher{constLoss(1), constLoss(2), constLoss(3), deadSearcher{}}
 	var clk simclock.Clock
-	out := Run(jobs, Config{Eta: 2, KFrac: 0.5, PFrac: 0, BMax: 8, Workers: 2,
+	out := Run(context.Background(), jobs, Config{Eta: 2, KFrac: 0.5, PFrac: 0, BMax: 8, Workers: 2,
 		EvalCostSeconds: 1, Clock: &clk})
 
 	actual := 0

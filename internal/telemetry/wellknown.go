@@ -220,6 +220,62 @@ func distClientMetrics() {
 // DistRetries counts master-side HTTP retries against worker nodes.
 func DistRetries() *Counter { distClientMetrics(); return distRetries }
 
+var (
+	ckptOnce      sync.Once
+	ckptRecords   *Counter
+	ckptSnapshots *Counter
+	ckptResumes   *Counter
+	ckptErrors    *Counter
+	ckptTorn      *Counter
+)
+
+func checkpointMetrics() {
+	ckptOnce.Do(func() {
+		ckptRecords = DefaultRegistry.Counter("unico_checkpoint_records_total",
+			"Iteration records appended to the write-ahead journal.", nil)
+		ckptSnapshots = DefaultRegistry.Counter("unico_checkpoint_snapshots_total",
+			"Atomic state snapshots written.", nil)
+		ckptResumes = DefaultRegistry.Counter("unico_checkpoint_resumes_total",
+			"Runs resumed from a checkpoint.", nil)
+		ckptErrors = DefaultRegistry.Counter("unico_checkpoint_errors_total",
+			"Checkpoint write failures (checkpointing disables itself after the first).", nil)
+		ckptTorn = DefaultRegistry.Counter("unico_checkpoint_torn_records_total",
+			"Torn trailing journal records detected and truncated on load.", nil)
+	})
+}
+
+// CheckpointRecords counts journal records appended.
+func CheckpointRecords() *Counter { checkpointMetrics(); return ckptRecords }
+
+// CheckpointSnapshots counts atomic snapshots written.
+func CheckpointSnapshots() *Counter { checkpointMetrics(); return ckptSnapshots }
+
+// CheckpointResumes counts runs resumed from a checkpoint.
+func CheckpointResumes() *Counter { checkpointMetrics(); return ckptResumes }
+
+// CheckpointErrors counts checkpoint write failures.
+func CheckpointErrors() *Counter { checkpointMetrics(); return ckptErrors }
+
+// CheckpointTornRecords counts torn trailing journal records truncated on
+// load (the expected residue of a crash mid-append).
+func CheckpointTornRecords() *Counter { checkpointMetrics(); return ckptTorn }
+
+var (
+	cacheSkipOnce sync.Once
+	cacheSkipped  *Counter
+)
+
+// EvalCacheSkippedLines counts malformed or truncated JSONL lines skipped
+// while loading a persisted evaluation cache (the residue of a crash
+// mid-append; the loader tolerates and counts them).
+func EvalCacheSkippedLines() *Counter {
+	cacheSkipOnce.Do(func() {
+		cacheSkipped = DefaultRegistry.Counter("unico_evalcache_skipped_lines_total",
+			"Malformed or truncated JSONL lines skipped while loading a persisted cache.", nil)
+	})
+	return cacheSkipped
+}
+
 // DistWorkerEvictions counts workers evicted from the master's rotation.
 func DistWorkerEvictions() *Counter { distClientMetrics(); return distEvictions }
 

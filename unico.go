@@ -22,11 +22,14 @@
 package unico
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"unico/internal/baselines"
+	"unico/internal/checkpoint"
 	"unico/internal/core"
 	"unico/internal/dist"
 	"unico/internal/evalcache"
@@ -254,6 +257,20 @@ type Config struct {
 	// CacheFile warm-starts the cache from this JSONL file when it exists
 	// and saves the cache back on completion. Setting it implies Cache.
 	CacheFile string
+	// CheckpointFile enables crash-safe checkpointing: a write-ahead journal
+	// at CheckpointFile+".journal" records every completed iteration, and an
+	// atomic snapshot at CheckpointFile is refreshed every CheckpointEvery
+	// iterations. Not supported for MethodNSGAII. Checkpointing never
+	// changes the search result.
+	CheckpointFile string
+	// CheckpointEvery is the snapshot cadence in iterations (default 10).
+	CheckpointEvery int
+	// Resume continues the run recorded at CheckpointFile instead of
+	// starting over. The checkpoint must have been written by a run with
+	// the same platform, method, seed and sizes; a mismatch is an error
+	// (never a silently-hybrid run). With no checkpoint on disk the run
+	// starts fresh, so -resume is safe to pass unconditionally.
+	Resume bool
 	// TraceWriter, if non-nil, receives the run's search events as Chrome
 	// trace_event JSONL (open with a trace viewer after `jq -s .`, or read
 	// line-by-line). Tracing never changes the search result.
@@ -329,8 +346,19 @@ type Result struct {
 	CacheHits, CacheMisses uint64
 }
 
-// Optimize runs the selected co-optimization method on the platform.
+// Optimize runs the selected co-optimization method on the platform with a
+// background context; see OptimizeContext.
 func Optimize(p *Platform, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), p, cfg)
+}
+
+// OptimizeContext runs the selected co-optimization method on the platform.
+// Cancelling ctx stops the search at the next safe point and returns the
+// partial result; with Config.CheckpointFile set, a final checkpoint is
+// written first, so a later run with Config.Resume continues exactly where
+// this one stopped. (MethodNSGAII does not run on the shared iteration
+// engine and ignores ctx and checkpointing.)
+func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("unico: nil platform")
 	}
@@ -347,6 +375,34 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 			}
 		}
 		inner = withCache(inner, cache)
+	}
+
+	var sink *checkpoint.File
+	var resume *core.ResumeState
+	if cfg.CheckpointFile != "" {
+		if cfg.Method == MethodNSGAII {
+			return nil, fmt.Errorf("unico: checkpointing is not supported for MethodNSGAII")
+		}
+		if cfg.Resume && checkpoint.Exists(cfg.CheckpointFile) {
+			rs, err := checkpoint.Load(cfg.CheckpointFile)
+			if err != nil {
+				return nil, err
+			}
+			resume = rs
+		}
+		var err error
+		sink, err = checkpoint.Create(cfg.CheckpointFile)
+		if err != nil {
+			return nil, err
+		}
+		defer sink.Close()
+	}
+	applyCheckpoint := func(opt *core.Options) {
+		if sink != nil {
+			opt.Checkpoint = sink
+		}
+		opt.CheckpointEvery = cfg.CheckpointEvery
+		opt.Resume = resume
 	}
 
 	var tracer *telemetry.Tracer
@@ -378,14 +434,16 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
 		opt.Progress = progress
-		res = core.Run(inner, opt)
+		applyCheckpoint(&opt)
+		res = core.RunContext(ctx, inner, opt)
 	case MethodHASCO:
 		opt := baselines.HASCOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
 		opt.Progress = progress
-		res = core.Run(inner, opt)
+		applyCheckpoint(&opt)
+		res = core.RunContext(ctx, inner, opt)
 	case MethodMOBOHB:
 		opt := baselines.MOBOHBOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.Workers = cfg.Workers
@@ -393,7 +451,8 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
 		opt.Progress = progress
-		res = core.Run(inner, opt)
+		applyCheckpoint(&opt)
+		res = core.RunContext(ctx, inner, opt)
 	case MethodNSGAII:
 		res = baselines.NSGAII(inner, baselines.NSGAIIOptions{
 			Pop:             cfg.BatchSize,
@@ -406,6 +465,11 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 		})
 	default:
 		return nil, fmt.Errorf("unico: unknown method %v", cfg.Method)
+	}
+	if res.CheckpointErr != nil && errors.Is(res.CheckpointErr, core.ErrResumeMismatch) {
+		// The run never started: the checkpoint belongs to a different
+		// configuration and continuing would corrupt both.
+		return nil, res.CheckpointErr
 	}
 
 	out := &Result{SimulatedHours: res.Hours, Evaluations: res.Evals}
@@ -426,7 +490,10 @@ func Optimize(p *Platform, cfg Config) (*Result, error) {
 			}
 		}
 	}
-	return out, nil
+	// A mid-run checkpoint write failure is non-fatal to the search; hand
+	// back the result along with it so callers know resume coverage is
+	// incomplete.
+	return out, res.CheckpointErr
 }
 
 // withCache returns a platform whose PPA engines are wrapped with c, leaving
