@@ -17,15 +17,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"unico/internal/evalcache"
 	"unico/internal/experiments"
+	"unico/internal/flightrec"
 	"unico/internal/hw"
+	"unico/internal/logx"
+	"unico/internal/runid"
 	"unico/internal/telemetry"
 )
 
@@ -41,7 +45,18 @@ func main() {
 	cacheFile := flag.String("cache-file", "", "warm-start the cache from this JSONL file and save it back on exit (implies -cache)")
 	checkpointDir := flag.String("checkpoint-dir", "", "write per-run crash-safe checkpoints into this directory")
 	resume := flag.Bool("resume", false, "continue runs from existing checkpoints in -checkpoint-dir")
+	flightDir := flag.String("flight-record", "", "write one flight-record artifact per co-search run (<run>.run.jsonl) into this directory; view with unicoreport")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	logger, err := logx.Setup(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	// One sweep = one correlation ID across all its runs and dist requests.
+	runid.Set(runid.New())
 
 	// SIGINT/SIGTERM cancel in-flight co-searches; with -checkpoint-dir set,
 	// each interrupted run leaves a resumable checkpoint behind.
@@ -49,22 +64,30 @@ func main() {
 	defer stopSignals()
 
 	if *metricsAddr != "" {
-		telemetry.ServeDebug(*metricsAddr, nil, func(err error) {
-			log.Printf("experiments: metrics server: %v", err)
+		flightrec.SetLive(flightrec.NewLive())
+		debug := telemetry.NewDebugServer(*metricsAddr, nil)
+		debug.Mux().Handle("GET /debug/unico", flightrec.DashboardHandler(flightrec.ActiveLive()))
+		debug.Start(func(err error) {
+			logger.Error("metrics server failed", slog.Any("err", err))
 		})
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = debug.Shutdown(sctx)
+		}()
 	}
 	if *useCache || *cacheSize > 0 || *cacheFile != "" {
 		cache := evalcache.New(*cacheSize)
 		if *cacheFile != "" {
 			n, err := cache.LoadFile(*cacheFile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				logger.Error("cache warm-start failed", slog.Any("err", err))
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "experiments: warm-started cache with %d entries from %s\n", n, *cacheFile)
+			logger.Info("warm-started cache", slog.Int("entries", n), slog.String("file", *cacheFile))
 			defer func() {
 				if err := cache.SaveFile(*cacheFile); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					logger.Error("cache save failed", slog.Any("err", err))
 				}
 			}()
 		}
@@ -73,14 +96,14 @@ func main() {
 		evalcache.SetProcess(cache)
 		defer func() {
 			st := cache.Stats()
-			fmt.Fprintf(os.Stderr, "experiments: evaluation cache: %d hits / %d misses (%.1f%% hit rate)\n",
-				st.Hits, st.Misses, 100*st.HitRate())
+			logger.Info("evaluation cache totals",
+				slog.Uint64("hits", st.Hits), slog.Uint64("misses", st.Misses))
 		}()
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			logger.Error("trace file setup failed", slog.Any("err", err))
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -104,7 +127,7 @@ func main() {
 	case "small":
 		s = experiments.SmallScale()
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		logger.Error("unknown scale", slog.String("scale", *scale))
 		os.Exit(1)
 	}
 	if *seed != 0 {
@@ -114,10 +137,17 @@ func main() {
 	s.Resume = *resume
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			logger.Error("checkpoint dir setup failed", slog.Any("err", err))
 			os.Exit(1)
 		}
 		s.CheckpointDir = *checkpointDir
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			logger.Error("flight-record dir setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		s.FlightDir = *flightDir
 	}
 
 	want := map[string]bool{}
@@ -157,7 +187,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: nothing matched -run=%q\n", *run)
+		logger.Error("nothing matched", slog.String("run", *run))
 		os.Exit(1)
 	}
 }

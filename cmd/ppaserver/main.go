@@ -17,15 +17,20 @@
 //	GET    /debug/vars       expvar JSON
 //	GET    /debug/pprof/     runtime profiles
 //
-// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+// Every request is access-logged with the originating client's run ID (the
+// X-Unico-Run-ID header internal/dist clients attach), so a worker log line
+// is attributable to the exact co-search run that issued it. The server
+// drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -33,6 +38,7 @@ import (
 	"unico/internal/camodel"
 	"unico/internal/dist"
 	"unico/internal/evalcache"
+	"unico/internal/logx"
 	"unico/internal/maestro"
 	"unico/internal/telemetry"
 )
@@ -49,7 +55,15 @@ func main() {
 		"warm-start the cache from this JSONL file and save it back on shutdown (implies -cache)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0,
 		"also save -cache-file periodically at this interval (atomic tmp+rename; 0 = only on shutdown), so a crash loses at most one interval of cache entries")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	logger, err := logx.Setup(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppaserver:", err)
+		os.Exit(1)
+	}
 
 	server := dist.NewServer()
 	var cache *evalcache.Cache
@@ -58,9 +72,10 @@ func main() {
 		if *cacheFile != "" {
 			n, err := cache.LoadFile(*cacheFile)
 			if err != nil {
-				log.Fatalf("ppaserver: %v", err)
+				logger.Error("cache warm-start failed", slog.Any("err", err))
+				os.Exit(1)
 			}
-			log.Printf("ppaserver: warm-started cache with %d entries from %s", n, *cacheFile)
+			logger.Info("warm-started cache", slog.Int("entries", n), slog.String("file", *cacheFile))
 		}
 		server = dist.NewServerWith(
 			evalcache.Spatial{Inner: maestro.Engine{}, Cache: cache},
@@ -69,7 +84,7 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", server.Handler())
+	mux.Handle("/", logx.AccessLog(logger, server.Handler()))
 	debug := telemetry.DebugMux(telemetry.DefaultRegistry)
 	mux.Handle("GET /metrics", debug)
 	mux.Handle("GET /debug/", debug)
@@ -94,7 +109,7 @@ func main() {
 					return
 				case <-tick.C:
 					if err := cache.SaveFile(*cacheFile); err != nil {
-						log.Printf("ppaserver: periodic cache save: %v", err)
+						logger.Error("periodic cache save failed", slog.Any("err", err))
 					}
 				}
 			}
@@ -103,31 +118,32 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ppaserver: listening on %s", *addr)
+		logger.Info("listening", slog.String("addr", *addr))
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("ppaserver: %v", err)
+		logger.Error("server failed", slog.Any("err", err))
+		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		log.Printf("ppaserver: shutdown signal received, draining for up to %s", *shutdownGrace)
+		logger.Info("shutdown signal received, draining", slog.Duration("grace", *shutdownGrace))
 		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
-			log.Printf("ppaserver: forced shutdown: %v", err)
+			logger.Warn("forced shutdown", slog.Any("err", err))
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("ppaserver: %v", err)
+			logger.Error("listener error", slog.Any("err", err))
 		}
 		if cache != nil && *cacheFile != "" {
 			if err := cache.SaveFile(*cacheFile); err != nil {
-				log.Printf("ppaserver: %v", err)
+				logger.Error("cache save failed", slog.Any("err", err))
 			} else {
-				log.Printf("ppaserver: saved %d cache entries to %s", cache.Len(), *cacheFile)
+				logger.Info("saved cache", slog.Int("entries", cache.Len()), slog.String("file", *cacheFile))
 			}
 		}
-		log.Printf("ppaserver: stopped")
+		logger.Info("stopped")
 	}
 }

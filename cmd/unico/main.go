@@ -14,14 +14,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"unico"
+	"unico/internal/flightrec"
+	"unico/internal/logx"
+	"unico/internal/runid"
 	"unico/internal/telemetry"
 )
 
@@ -39,9 +43,12 @@ func main() {
 		list     = flag.Bool("list", false, "list available networks and exit")
 		jsonNets = flag.String("workload-json", "", "comma-separated JSON workload files (overrides -networks)")
 
-		traceFile   = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
-		progress    = flag.Bool("progress", false, "print per-iteration convergence to stderr")
+		traceFile    = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and the /debug/unico dashboard on this address while running")
+		progress     = flag.Bool("progress", false, "print per-iteration convergence to stderr")
+		flightRecord = flag.String("flight-record", "", "write the run's flight record (header, per-iteration convergence, summary) as JSONL to this file; view with unicoreport")
+		logFormat    = flag.String("log-format", "text", "log output format: text | json")
+		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 
 		checkpointFile  = flag.String("checkpoint", "", "crash-safe checkpoint file: journal every iteration, snapshot periodically, final state on SIGINT/SIGTERM")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "snapshot cadence in iterations (0 = default 10)")
@@ -58,10 +65,29 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := logx.Setup(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unico:", err)
+		os.Exit(1)
+	}
+	// One run per invocation: generate the correlation ID up front so every
+	// log record — and every dist request and the flight-record header —
+	// carries it from the first line.
+	runid.Set(runid.New())
+
+	var debug *telemetry.DebugServer
 	if *metricsAddr != "" {
-		telemetry.ServeDebug(*metricsAddr, nil, func(err error) {
-			log.Printf("unico: metrics server: %v", err)
+		flightrec.SetLive(flightrec.NewLive())
+		debug = telemetry.NewDebugServer(*metricsAddr, nil)
+		debug.Mux().Handle("GET /debug/unico", flightrec.DashboardHandler(flightrec.ActiveLive()))
+		debug.Start(func(err error) {
+			logger.Error("metrics server failed", slog.Any("err", err))
 		})
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = debug.Shutdown(sctx)
+		}()
 	}
 
 	if *list {
@@ -73,7 +99,6 @@ func main() {
 
 	nets := strings.Split(*networks, ",")
 	var p *unico.Platform
-	var err error
 	if *remoteWorkers != "" {
 		urls := strings.Split(*remoteWorkers, ",")
 		opts := unico.RemoteOptions{
@@ -114,7 +139,7 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "unico:", err)
+		logger.Error("platform setup failed", slog.Any("err", err))
 		os.Exit(1)
 	}
 
@@ -129,7 +154,7 @@ func main() {
 	case "nsgaii":
 		m = unico.MethodNSGAII
 	default:
-		fmt.Fprintf(os.Stderr, "unico: unknown method %q\n", *method)
+		logger.Error("unknown method", slog.String("method", *method))
 		os.Exit(1)
 	}
 
@@ -147,11 +172,13 @@ func main() {
 		CheckpointFile:    *checkpointFile,
 		CheckpointEvery:   *checkpointEvery,
 		Resume:            *resume,
+		FlightRecordFile:  *flightRecord,
+		RunID:             runid.Current(),
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "unico:", err)
+			logger.Error("trace file setup failed", slog.Any("err", err))
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -176,21 +203,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	logger.Info("starting co-search",
+		slog.String("method", m.String()), slog.String("networks", *networks),
+		slog.String("scenario", *scenario), slog.Int64("seed", *seed))
 	res, err := unico.OptimizeContext(ctx, p, cfg)
 	if err != nil {
 		if res == nil {
-			fmt.Fprintln(os.Stderr, "unico:", err)
+			logger.Error("co-search failed", slog.Any("err", err))
 			os.Exit(1)
 		}
-		// The search finished; only a post-run step (cache save) or the
-		// checkpoint sink failed.
-		fmt.Fprintln(os.Stderr, "unico: warning:", err)
+		// The search finished; only a post-run step (cache save) or a
+		// recorder sink (checkpoint, flight record) failed.
+		logger.Warn("post-run step failed", slog.Any("err", err))
 	}
 	if ctx.Err() != nil {
 		if *checkpointFile != "" {
-			fmt.Fprintf(os.Stderr, "unico: interrupted; checkpoint written to %s (rerun with -resume to continue)\n", *checkpointFile)
+			logger.Warn("interrupted; checkpoint written — rerun with -resume to continue",
+				slog.String("checkpoint", *checkpointFile))
 		} else {
-			fmt.Fprintln(os.Stderr, "unico: interrupted; partial result follows")
+			logger.Warn("interrupted; partial result follows")
 		}
 	}
 

@@ -1,0 +1,88 @@
+// Command unicoreport renders flight-record artifacts (the JSONL files
+// written by `unico -flight-record` and `experiments -flight-record`)
+// into self-contained HTML reports, and diffs two runs as a CI gate.
+//
+// Usage:
+//
+//	unicoreport run.jsonl                    # HTML report to stdout
+//	unicoreport -o report.html run.jsonl     # HTML report to a file
+//	unicoreport -diff base.jsonl cand.jsonl  # text diff; exit 1 on regression
+//	unicoreport -diff -hv-tol 0.05 a b      # tolerate 5% final-hv shortfall
+//
+// The diff compares the candidate (second file) against the baseline
+// (first): per-iteration hypervolume deltas, final-front gains/losses, and
+// evaluation-cost movement. The exit status is non-zero when the
+// candidate's final hypervolume falls short of the baseline's by more than
+// -hv-tol (relative), which makes the command usable as a CI regression
+// gate. Empty or malformed artifacts always fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unico/internal/flightrec"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "compare two runs: unicoreport -diff baseline.jsonl candidate.jsonl")
+	hvTol := flag.Float64("hv-tol", 0.0, "with -diff: tolerated relative final-hypervolume shortfall before exiting non-zero")
+	out := flag.String("o", "", "write the HTML report to this file instead of stdout")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "unicoreport: -diff needs exactly two run files (baseline, candidate)")
+			os.Exit(2)
+		}
+		a := load(flag.Arg(0))
+		b := load(flag.Arg(1))
+		r := flightrec.Diff(a, b)
+		fmt.Printf("baseline:  %s\ncandidate: %s\n", flag.Arg(0), flag.Arg(1))
+		fmt.Print(r.Render())
+		if r.Regressed(*hvTol) {
+			fmt.Fprintf(os.Stderr, "unicoreport: hypervolume regression: candidate %g < baseline %g (tolerance %g)\n",
+				r.FinalHVB, r.FinalHVA, *hvTol)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: unicoreport [-o report.html] run.jsonl")
+		fmt.Fprintln(os.Stderr, "       unicoreport -diff [-hv-tol f] baseline.jsonl candidate.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	d := load(path)
+	html := flightrec.ReportHTML(*d, "unico run report — "+filepath.Base(path))
+	if *out == "" {
+		os.Stdout.Write(html)
+		return
+	}
+	if err := os.WriteFile(*out, html, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "unicoreport:", err)
+		os.Exit(1)
+	}
+}
+
+// load reads one artifact and enforces the gate's input contract: a
+// malformed file (bad or missing header) or one with zero recorded
+// iterations is an error, and skipped torn lines are reported.
+func load(path string) *flightrec.RunData {
+	d, skipped, err := flightrec.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unicoreport: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "unicoreport: %s: skipped %d malformed line(s)\n", path, skipped)
+	}
+	if len(d.Iters) == 0 {
+		fmt.Fprintf(os.Stderr, "unicoreport: %s: no iteration records\n", path)
+		os.Exit(1)
+	}
+	return d
+}

@@ -1,0 +1,213 @@
+package unico
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"unico/internal/flightrec"
+)
+
+func flightConfig(dir string) Config {
+	return Config{
+		BatchSize: 6, Iterations: 3, BudgetMax: 15, Seed: 1,
+		FlightRecordFile: filepath.Join(dir, "run.jsonl"),
+	}
+}
+
+// TestFlightRecordMatchesProgress pins the acceptance criterion that the
+// durable artifact's per-iteration hypervolume (and costs) are exactly the
+// values the Progress callback reported — one source of truth, recorded at
+// the same boundary.
+func TestFlightRecordMatchesProgress(t *testing.T) {
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := flightConfig(t.TempDir())
+	var seen []IterationProgress
+	cfg.Progress = func(ip IterationProgress) { seen = append(seen, ip) }
+	res, err := Optimize(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, skipped, err := flightrec.Load(cfg.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d artifact lines", skipped)
+	}
+	if d.Header.Method != "UNICO" || d.Header.Seed != 1 || d.Header.RunID == "" {
+		t.Errorf("header = %+v", d.Header)
+	}
+	if d.Header.Workload == "" {
+		t.Error("header missing workload name")
+	}
+	if d.Header.Fingerprint == nil {
+		t.Error("header missing options fingerprint")
+	}
+	if len(d.Iters) != len(seen) {
+		t.Fatalf("artifact has %d iterations, Progress reported %d", len(d.Iters), len(seen))
+	}
+	for i, it := range d.Iters {
+		ip := seen[i]
+		if it.Iter != ip.Iter || it.Hypervolume != ip.Hypervolume ||
+			it.SimHours != ip.SimHours || it.Evals != ip.Evaluations {
+			t.Errorf("iteration %d: artifact {iter %d hv %v sim %v evals %d} != progress {iter %d hv %v sim %v evals %d}",
+				i, it.Iter, it.Hypervolume, it.SimHours, it.Evals,
+				ip.Iter, ip.Hypervolume, ip.SimHours, ip.Evaluations)
+		}
+		if math.IsNaN(float64(it.UUL)) {
+			t.Errorf("iteration %d: NaN UUL", it.Iter)
+		}
+		if len(it.RungAlive) == 0 || it.RungAlive[0] != cfg.BatchSize {
+			t.Errorf("iteration %d: survivor curve %v does not start at the batch size %d",
+				it.Iter, it.RungAlive, cfg.BatchSize)
+		}
+	}
+	if d.Summary == nil {
+		t.Fatal("no summary record")
+	}
+	if d.Summary.Interrupted {
+		t.Error("uninterrupted run marked interrupted")
+	}
+	if d.Summary.Iters != cfg.Iterations || d.Summary.Evals != res.Evaluations ||
+		d.Summary.SimHours != res.SimulatedHours {
+		t.Errorf("summary %+v does not match result {iters %d evals %d hours %v}",
+			d.Summary, cfg.Iterations, res.Evaluations, res.SimulatedHours)
+	}
+}
+
+// TestFlightRecordKillResumeIdentical is the tentpole acceptance test: kill a
+// recorded run mid-flight, resume it from its checkpoint, and the stitched
+// artifact's iteration and summary records must be identical to those of an
+// uninterrupted run. (Headers differ by design: run ID and start time are
+// per-process.)
+func TestFlightRecordKillResumeIdentical(t *testing.T) {
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	full := flightConfig(dir)
+	full.Iterations = 4
+	full.FlightRecordFile = filepath.Join(dir, "full.jsonl")
+	if _, err := Optimize(p, full); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := flightrec.Load(full.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := full
+	killed.FlightRecordFile = filepath.Join(dir, "killed.jsonl")
+	killed.CheckpointFile = filepath.Join(dir, "killed.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed.Progress = func(ip IterationProgress) {
+		if ip.Iter == 2 {
+			cancel()
+		}
+	}
+	if _, err := OptimizeContext(ctx, p, killed); err != nil {
+		t.Fatal(err)
+	}
+	mid, _, err := flightrec.Load(killed.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid.Iters) != 2 {
+		t.Fatalf("interrupted artifact has %d iterations, want 2", len(mid.Iters))
+	}
+	if mid.Summary == nil || !mid.Summary.Interrupted {
+		t.Fatalf("interrupted artifact summary = %+v, want Interrupted", mid.Summary)
+	}
+
+	resumed := killed
+	resumed.Progress = nil
+	resumed.Resume = true
+	if _, err := Optimize(p, resumed); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := flightrec.Load(resumed.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("stitched artifact has %d malformed lines", skipped)
+	}
+	if !reflect.DeepEqual(want.Iters, got.Iters) {
+		t.Errorf("iteration records diverged after kill/resume:\nwant %+v\ngot  %+v", want.Iters, got.Iters)
+	}
+	if !reflect.DeepEqual(want.Summary, got.Summary) {
+		t.Errorf("summary diverged after kill/resume:\nwant %+v\ngot  %+v", want.Summary, got.Summary)
+	}
+}
+
+// TestFlightRecordCacheCounters: with the evaluation cache on, the durable
+// iteration records carry the cache's cumulative counters (stamped at the
+// facade layer, where the cache lives).
+func TestFlightRecordCacheCounters(t *testing.T) {
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := flightConfig(t.TempDir())
+	cfg.Cache = true
+	res, err := Optimize(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := flightrec.Load(cfg.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := d.Iters[len(d.Iters)-1]
+	if last.CacheHits+last.CacheMisses == 0 {
+		t.Error("iteration records carry no cache counters despite Cache=true")
+	}
+	if d.Summary.CacheHits != res.CacheHits || d.Summary.CacheMisses != res.CacheMisses {
+		t.Errorf("summary cache counters %d/%d, result says %d/%d",
+			d.Summary.CacheHits, d.Summary.CacheMisses, res.CacheHits, res.CacheMisses)
+	}
+}
+
+func TestFlightRecordNSGAIIRejected(t *testing.T) {
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := flightConfig(t.TempDir())
+	cfg.Method = MethodNSGAII
+	if _, err := Optimize(p, cfg); err == nil {
+		t.Error("flight recording accepted for MethodNSGAII")
+	}
+}
+
+// TestFlightRecordingDoesNotPerturbSearch: recording is observation only —
+// the front with and without it is identical.
+func TestFlightRecordingDoesNotPerturbSearch(t *testing.T) {
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := Config{BatchSize: 6, Iterations: 3, BudgetMax: 15, Seed: 1}
+	ref, err := Optimize(p, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flightConfig(t.TempDir())
+	got, err := Optimize(p, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Front, got.Front) || ref.SimulatedHours != got.SimulatedHours {
+		t.Error("flight recording changed the search result")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"unico/internal/hw"
 	"unico/internal/mapping"
@@ -92,11 +93,13 @@ type engineState struct {
 var (
 	evalCount      = telemetry.PPAEvals("camodel")
 	evalInfeasible = telemetry.PPAInfeasible("camodel")
+	evalSeconds    = telemetry.PPAEvalSeconds("camodel")
 )
 
 // Evaluate simulates one layer under schedule m on core c.
 func (e Engine) Evaluate(c hw.Ascend, m mapping.Ascend, l workload.Layer) (ppa.Metrics, error) {
 	evalCount.Inc()
+	defer func(start time.Time) { evalSeconds.Observe(time.Since(start).Seconds()) }(time.Now())
 	met, err := e.evaluate(c, m, l)
 	if err != nil && errors.Is(err, ErrInfeasible) {
 		evalInfeasible.Inc()

@@ -64,6 +64,14 @@ func fingerprintOf(p Platform, opt Options) Fingerprint {
 	}
 }
 
+// FingerprintFor exposes the run fingerprint of a (platform, options) pair
+// so other per-run artifacts — the flight recorder's header — carry the same
+// identity the checkpoint contract validates on resume. The options are
+// normalized first, matching what a checkpoint of the run would record.
+func FingerprintFor(p Platform, opt Options) Fingerprint {
+	return fingerprintOf(p, opt.normalize())
+}
+
 // IterationRecord is the write-ahead journal entry for one completed MOBO
 // iteration: everything resume needs to replay the iteration's effect on
 // the explorer and the result without re-running its mapping searches.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"unico/internal/flightrec"
 	"unico/internal/mapsearch"
 	"unico/internal/mobo"
 	"unico/internal/pareto"
@@ -91,6 +92,13 @@ type Options struct {
 	// simulated hours). The process-wide telemetry.EmitProgress sink fires
 	// regardless.
 	Progress ProgressFunc
+	// Flight, if non-nil, receives one flight record per completed iteration
+	// (hypervolume, UUL, feasible front, SH survivor curve), emitted at the
+	// same boundary as the checkpoint journal — and durably *before* it, so
+	// a flight artifact is never behind the checkpoint it resumes against.
+	// Like tracing and checkpointing, it never influences the search. The
+	// process-wide flightrec live store (dashboard) is fed regardless.
+	Flight flightrec.Sink
 	// Checkpoint, if non-nil, receives a journal record after every
 	// completed iteration and an atomic snapshot every CheckpointEvery
 	// iterations (plus a genesis snapshot before the first). Checkpointing
@@ -352,6 +360,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		res.Evals += outcome.TotalEvals
 
 		obs := make([]mobo.Observation, len(xs))
+		batchFeasible := 0
 		for i, x := range xs {
 			hist := outcome.Histories[i]
 			met, ok := jobs[i].Best()
@@ -363,6 +372,9 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			} else {
 				cand.Metrics = penaltyMetrics
 				cand.Sensitivity = robust.RInfeasible
+			}
+			if cand.Feasible {
+				batchFeasible++
 			}
 			res.All = append(res.All, cand)
 			obs[i] = mobo.Observation{X: x, Y: NormalizeObjectives(cand.Objectives(opt.UseRobustness))}
@@ -384,6 +396,32 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			FrontPPA: frontPPA(res.Front),
 		})
 		telemetry.MOBOIterations().Inc()
+
+		hvSpan := tr.StartSpan("hypervolume", "core", 0, opt.Clock.Seconds())
+		hv := runningHypervolume(res.Front)
+		hvSpan.End(opt.Clock.Seconds(), map[string]any{"hv": hv, "front": len(res.Front)})
+
+		// Flight record at the completed-iteration boundary, durably written
+		// BEFORE the checkpoint journal entry: at any crash the artifact then
+		// covers every journaled iteration, which is what lets flightrec.Resume
+		// stitch at the replay boundary without gaps.
+		flightIt := flightrec.Iteration{
+			Iter:          iter,
+			SimHours:      opt.Clock.Hours(),
+			Hypervolume:   hv,
+			UUL:           flightrec.ExtFloat(explorer.UUL()),
+			Evals:         res.Evals,
+			Admitted:      admitted,
+			TrainSize:     explorer.TrainSize(),
+			BatchFeasible: batchFeasible,
+			Best:          bestObjectives(res.Front),
+			Front:         frontPPA(res.Front),
+			RungAlive:     outcome.RungAlive,
+		}
+		if opt.Flight != nil {
+			opt.Flight.RecordIteration(flightIt)
+		}
+		flightrec.EmitLive(flightIt)
 
 		// The iteration is complete: journal it, then snapshot on cadence.
 		lastIter = iter
@@ -409,9 +447,6 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			}
 		}
 
-		hvSpan := tr.StartSpan("hypervolume", "core", 0, opt.Clock.Seconds())
-		hv := runningHypervolume(res.Front)
-		hvSpan.End(opt.Clock.Seconds(), map[string]any{"hv": hv, "front": len(res.Front)})
 		prog := Progress{
 			Iter:        iter,
 			SimHours:    opt.Clock.Hours(),
@@ -517,7 +552,8 @@ func runFullBudget(jobs []mapsearch.Searcher, cfg sh.Config) sh.Outcome {
 		hist[i] = j.History()
 		surv[i] = i
 	}
-	return sh.Outcome{Histories: hist, Survivors: surv, TotalEvals: total, Rounds: 1}
+	return sh.Outcome{Histories: hist, Survivors: surv, TotalEvals: total, Rounds: 1,
+		RungAlive: []int{len(jobs)}}
 }
 
 // withinCaps applies the platform's power and area constraints.
@@ -551,6 +587,23 @@ func paretoFront(all []Candidate) []Candidate {
 		front[i] = feas[j]
 	}
 	return front
+}
+
+// bestObjectives is the componentwise best (minimum) of each PPA objective
+// over the feasible front — the "objective bests" line of a flight record.
+func bestObjectives(front []Candidate) []float64 {
+	if len(front) == 0 {
+		return nil
+	}
+	best := append([]float64(nil), front[0].Objectives(false)...)
+	for _, c := range front[1:] {
+		for j, v := range c.Objectives(false) {
+			if v < best[j] {
+				best[j] = v
+			}
+		}
+	}
+	return best
 }
 
 // frontPPA extracts the PPA vectors of a front.

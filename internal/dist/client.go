@@ -14,6 +14,7 @@ import (
 	"unico/internal/evalcache"
 	"unico/internal/maestro"
 	"unico/internal/ppa"
+	"unico/internal/runid"
 	"unico/internal/telemetry"
 )
 
@@ -115,6 +116,11 @@ func (c *Client) do(ctx context.Context, path string, body []byte, resp any) err
 		return fmt.Errorf("dist: build request %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Correlate every worker request with the client's run, so a ppaserver
+	// request log line is attributable to the exact co-search that issued it.
+	if id := runid.Current(); id != "" {
+		req.Header.Set(runid.Header, id)
+	}
 	httpResp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -220,6 +226,8 @@ func (c *Client) EvaluatePPAContext(ctx context.Context, req PPARequest) (PPARes
 }
 
 func (c *Client) evaluatePPA(ctx context.Context, req PPARequest) (PPAResponse, error) {
+	start := time.Now()
+	defer func() { telemetry.PPAEvalSeconds("dist").Observe(time.Since(start).Seconds()) }()
 	var resp PPAResponse
 	if err := c.postIdempotent(ctx, "/v1/ppa", req, &resp); err != nil {
 		return PPAResponse{}, err
@@ -318,6 +326,9 @@ func (c *Client) DeleteJob(id string) error {
 	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return fmt.Errorf("dist: delete job %s: %w", id, err)
+	}
+	if rid := runid.Current(); rid != "" {
+		req.Header.Set(runid.Header, rid)
 	}
 	httpResp, err := c.hc.Do(req)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"unico/internal/maestro"
 	"unico/internal/mapsearch"
 	"unico/internal/ppa"
+	"unico/internal/runid"
 	"unico/internal/telemetry"
 	"unico/internal/workload"
 )
@@ -65,7 +66,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return telemetry.InstrumentHandler(telemetry.DefaultRegistry, routeLabel, mux)
+	// Attribute request volume to the originating client run via the
+	// X-Unico-Run-ID header (capped label cardinality; see DistRunRequests).
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		telemetry.DistRunRequests(r.Header.Get(runid.Header)).Inc()
+		mux.ServeHTTP(w, r)
+	})
+	return telemetry.InstrumentHandler(telemetry.DefaultRegistry, routeLabel, counted)
 }
 
 // routeLabel folds per-job paths into one route and any unregistered path

@@ -17,13 +17,16 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"unico/internal/checkpoint"
 	"unico/internal/core"
+	"unico/internal/flightrec"
 	"unico/internal/hw"
 	"unico/internal/mapsearch"
 	"unico/internal/pareto"
 	"unico/internal/platform"
+	"unico/internal/runid"
 	"unico/internal/workload"
 )
 
@@ -60,6 +63,10 @@ type Scale struct {
 	// Resume continues runs from existing checkpoints in CheckpointDir
 	// (completed runs replay from their records instead of re-searching).
 	Resume bool
+	// FlightDir, when set, gives every core co-search run a flight-record
+	// artifact named after the run (<name>.run.jsonl, mirroring the
+	// checkpoint naming), viewable with cmd/unicoreport.
+	FlightDir string
 }
 
 // run executes one core co-search under the scale's cancellation context
@@ -87,7 +94,59 @@ func (s Scale) run(name string, p core.Platform, opt core.Options) core.Result {
 			opt.Checkpoint = sink
 		}
 	}
+
+	// Flight recording, one artifact per run named like the checkpoint. The
+	// run name doubles as the header's method field — it already encodes the
+	// experiment and algorithm ("fig7-edge-unico-seed1").
+	hdr := flightrec.Header{
+		RunID:       runid.Current(),
+		StartedAt:   time.Now().UTC().Format(time.RFC3339),
+		Method:      name,
+		Seed:        opt.Seed,
+		Batch:       opt.BatchSize,
+		MaxIter:     opt.MaxIter,
+		BMax:        opt.BMax,
+		Fingerprint: core.FingerprintFor(p, opt),
+	}
+	if wp, ok := p.(interface{ Workload() workload.Workload }); ok {
+		hdr.Workload = wp.Workload().Name
+	}
+	flightLive := false
+	var flight *flightrec.Recorder
+	if s.FlightDir != "" {
+		fpath := filepath.Join(s.FlightDir, name+".run.jsonl")
+		var err error
+		if opt.Resume != nil {
+			flight, err = flightrec.Resume(fpath, hdr, opt.Resume.LastIter())
+		} else {
+			flight, err = flightrec.Create(fpath, hdr)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: open flight record %s: %v (running without)\n", fpath, err)
+			flight = nil
+		} else {
+			opt.Flight = flight
+		}
+	}
+	// Announce the run to the live dashboard store regardless of whether a
+	// durable recorder is attached (no-op when no store is installed).
+	if opt.Resume != nil && s.FlightDir != "" {
+		if d, _, err := flightrec.Load(filepath.Join(s.FlightDir, name+".run.jsonl")); err == nil {
+			flightrec.EmitLiveResume(hdr, d.Iters)
+			flightLive = true
+		}
+	}
+	if !flightLive {
+		flightrec.EmitLiveStart(hdr)
+	}
+
 	res := core.RunContext(ctx, p, opt)
+	if flight != nil {
+		if err := flight.Finish(flightrec.Summary{Interrupted: ctx.Err() != nil}); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: flight record: %v\n", name, err)
+		}
+	}
+	flightrec.EmitLiveFinish(flightrec.Summary{Interrupted: ctx.Err() != nil})
 	if res.CheckpointErr != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, res.CheckpointErr)
 	}

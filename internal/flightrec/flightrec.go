@@ -1,0 +1,513 @@
+// Package flightrec is the co-search flight recorder: a per-run, durable,
+// crash-tolerant `run.jsonl` artifact that captures how a search converged —
+// the run's identity (seed, platform, options fingerprint, run ID), one
+// record per completed optimizer iteration (objective bests, feasible-front
+// points, hypervolume, UUL, successive-halving survivor curve, eval and
+// cache counters), and a final summary — plus the tools that read it back:
+// an in-memory live store feeding the `/debug/unico` dashboard, server-side
+// SVG/HTML rendering shared by the dashboard and the offline `unicoreport`
+// tool, and run-diff math for regression gating.
+//
+// The artifact is line-oriented JSON: the first line is the header, then one
+// iteration record per completed iteration in order, then (for runs that
+// finished) one summary line. Every iteration append is flushed and fsynced
+// before the search proceeds, so a crash loses at most the iteration in
+// flight — the same durability boundary as the checkpoint write-ahead
+// journal, which is what makes resumed artifacts stitch together exactly
+// (see Resume).
+//
+// The package deliberately has no dependency on the co-optimizer: record
+// types are self-contained, so internal/core can import it (mirroring how
+// internal/checkpoint sits below core on the other side).
+package flightrec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Record type tags, the "type" field of each artifact line.
+const (
+	TypeHeader    = "header"
+	TypeIteration = "iteration"
+	TypeSummary   = "summary"
+)
+
+// ExtFloat is a float64 whose JSON form survives ±Inf and NaN (encoded as
+// the strings "+Inf", "-Inf", "NaN"), for fields like the UUL threshold
+// that are +Inf until the first surrogate update.
+type ExtFloat float64
+
+// MarshalJSON encodes non-finite values as quoted strings.
+func (f ExtFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON decodes both plain numbers and the quoted non-finite forms.
+func (f *ExtFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = ExtFloat(math.Inf(1))
+		case "-Inf":
+			*f = ExtFloat(math.Inf(-1))
+		case "NaN":
+			*f = ExtFloat(math.NaN())
+		default:
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("flightrec: bad ExtFloat %q", s)
+			}
+			*f = ExtFloat(v)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = ExtFloat(v)
+	return nil
+}
+
+// Header is the artifact's first line: the run's identity. StartedAt is
+// wall-clock and RunID is random, so comparisons between artifacts (the
+// kill/resume identity test, run diffs) key on the deterministic fields and
+// the iteration/summary records instead.
+type Header struct {
+	Type string `json:"type"`
+	// RunID is the correlation ID every log record and dist request of this
+	// run carries (internal/runid).
+	RunID string `json:"run_id"`
+	// StartedAt is the wall-clock start time, RFC 3339.
+	StartedAt string `json:"started_at,omitempty"`
+	// Method is the co-optimization method name ("UNICO", "HASCO", ...).
+	Method string `json:"method,omitempty"`
+	// Workload is the (combined) workload name under co-optimization.
+	Workload string `json:"workload,omitempty"`
+	// Seed, Batch, MaxIter, BMax are the run sizes.
+	Seed    int64 `json:"seed"`
+	Batch   int   `json:"batch,omitempty"`
+	MaxIter int   `json:"max_iter,omitempty"`
+	BMax    int   `json:"b_max,omitempty"`
+	// Fingerprint is the checkpoint contract's run fingerprint (platform
+	// type, space dim, seed, sizes, ablation switches), carried as an opaque
+	// JSON object so this package stays below internal/core.
+	Fingerprint any `json:"fingerprint,omitempty"`
+}
+
+// Iteration is one per-iteration convergence record — the data behind the
+// paper's hypervolume-vs-cost curves (Figs. 7 and 10), self-recorded.
+// Every field is a deterministic function of the run configuration, so a
+// resumed run appends records identical to the ones an uninterrupted run
+// would have written.
+type Iteration struct {
+	Type string `json:"type"`
+	// Iter is the optimizer iteration (1-based).
+	Iter int `json:"iter"`
+	// SimHours is the simulated search cost at the end of the iteration.
+	SimHours float64 `json:"sim_hours"`
+	// Hypervolume is the feasible front's hypervolume against the running
+	// nadir reference (comparable within a run).
+	Hypervolume float64 `json:"hypervolume"`
+	// UUL is the high-fidelity rule's Upper Update Limit (+Inf until the
+	// first surrogate update).
+	UUL ExtFloat `json:"uul"`
+	// Evals is the cumulative mapping budget spent.
+	Evals int `json:"evals"`
+	// Admitted is how many of this batch's samples entered the surrogate
+	// training set; TrainSize is the set size afterwards.
+	Admitted  int `json:"admitted"`
+	TrainSize int `json:"train_size,omitempty"`
+	// BatchFeasible counts this batch's feasible candidates.
+	BatchFeasible int `json:"batch_feasible"`
+	// Best is the componentwise best (minimum) of each objective over the
+	// feasible front: latency ms, power mW, area mm².
+	Best []float64 `json:"best,omitempty"`
+	// Front holds the feasible Pareto front's (latency, power, area) points.
+	Front [][]float64 `json:"front,omitempty"`
+	// RungAlive is the successive-halving survivor curve of this batch: the
+	// candidate count alive after each rung, starting with the full batch.
+	RungAlive []int `json:"rung_alive,omitempty"`
+	// CacheHits/CacheMisses snapshot the evaluation cache's cumulative
+	// counters (zero when no cache is attached).
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+}
+
+// Summary is the artifact's final line, written when a run returns. A killed
+// run leaves no summary; resuming truncates any summary before appending, so
+// a finished artifact always has exactly one, matching an uninterrupted run.
+type Summary struct {
+	Type string `json:"type"`
+	// Iters is the last completed iteration.
+	Iters int `json:"iters"`
+	// SimHours is the total simulated search cost.
+	SimHours float64 `json:"sim_hours"`
+	// Evals is the total mapping budget spent.
+	Evals int `json:"evals"`
+	// FrontSize and Hypervolume describe the final feasible front.
+	FrontSize   int     `json:"front_size"`
+	Hypervolume float64 `json:"hypervolume"`
+	// CacheHits/CacheMisses are the run's evaluation-cache counters.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// Interrupted records that the run was cancelled (SIGINT/SIGTERM) before
+	// MaxIter; the artifact then covers the completed prefix.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// fillFromLast completes a summary's zero-valued convergence fields from the
+// last recorded iteration, so writers only supply what the iteration stream
+// cannot know (cache counters, interruption). Shared by the durable recorder
+// and the live store, keeping their summaries consistent.
+func (s Summary) fillFromLast(last *Iteration) Summary {
+	if last == nil {
+		return s
+	}
+	if s.Iters == 0 {
+		s.Iters = last.Iter
+	}
+	if s.SimHours == 0 {
+		s.SimHours = last.SimHours
+	}
+	if s.Evals == 0 {
+		s.Evals = last.Evals
+	}
+	if s.FrontSize == 0 {
+		s.FrontSize = len(last.Front)
+	}
+	if s.Hypervolume == 0 {
+		s.Hypervolume = last.Hypervolume
+	}
+	return s
+}
+
+// Sink receives per-iteration flight records from a running co-search.
+// internal/core emits to it after every completed iteration, at the same
+// boundary as the checkpoint journal. Implementations must be safe for
+// concurrent use with readers (the dashboard renders while the search runs).
+type Sink interface {
+	RecordIteration(it Iteration)
+}
+
+// RunData is a fully loaded (or live-snapshot) artifact.
+type RunData struct {
+	Header  Header
+	Iters   []Iteration
+	Summary *Summary
+}
+
+// LastIter returns the last recorded iteration number (0 when none).
+func (d *RunData) LastIter() int {
+	if n := len(d.Iters); n > 0 {
+		return d.Iters[n-1].Iter
+	}
+	return 0
+}
+
+// Recorder is the file-backed flight recorder. Safe for use by one run at a
+// time; methods are serialized internally.
+type Recorder struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	err  error      // first write failure; latched, disables the recorder
+	last *Iteration // last appended (or resumed-past) iteration, for Finish
+}
+
+// Create starts a fresh artifact at path: the file is truncated and the
+// header written (and synced) immediately, so even a run that dies in its
+// first iteration leaves an identifiable artifact behind.
+func Create(path string, hdr Header) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: create %s: %w", path, err)
+	}
+	r := &Recorder{f: f, w: bufio.NewWriter(f)}
+	hdr.Type = TypeHeader
+	if err := r.writeLine(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Resume continues the artifact at path for a run resumed from a checkpoint
+// whose last completed iteration is lastIter. The existing file is kept up
+// to and including iteration lastIter — its header and the records of the
+// iterations the checkpoint replays — and truncated beyond it: any summary
+// (the run is continuing), any iteration past the checkpoint boundary (those
+// iterations re-run), and any torn trailing line (the residue of a crash
+// mid-append). The resumed run then appends from lastIter+1, producing an
+// artifact record-identical to an uninterrupted run's.
+//
+// A missing or headerless file falls back to Create: the artifact then
+// covers only the resumed portion (documented; there is nothing durable to
+// stitch to).
+func Resume(path string, hdr Header, lastIter int) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(path, hdr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: open %s: %w", path, err)
+	}
+	keep, lastKept, ok := scanKeepPrefix(f, lastIter)
+	if !ok {
+		// No parseable header: start over rather than appending to garbage.
+		f.Close()
+		return Create(path, hdr)
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flightrec: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flightrec: seek %s: %w", path, err)
+	}
+	r := &Recorder{f: f, w: bufio.NewWriter(f), last: lastKept}
+	return r, nil
+}
+
+// scanKeepPrefix scans the artifact and returns the byte length of the
+// prefix to keep on resume — the header plus the contiguous iteration
+// records with Iter <= lastIter — along with the last kept iteration.
+// ok is false when the first line is not a parseable header.
+func scanKeepPrefix(f *os.File, lastIter int) (keep int64, lastKept *Iteration, ok bool) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, nil, false
+	}
+	off := int64(0)
+	first := true
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn trailing line
+		}
+		line := data[:nl]
+		var probe struct {
+			Type string `json:"type"`
+			Iter int    `json:"iter"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			break
+		}
+		if first {
+			if probe.Type != TypeHeader {
+				return 0, nil, false
+			}
+			first = false
+		} else {
+			if probe.Type != TypeIteration || probe.Iter > lastIter {
+				break
+			}
+			var it Iteration
+			if err := json.Unmarshal(line, &it); err != nil {
+				break
+			}
+			lastKept = &it
+		}
+		off += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	if first {
+		return 0, nil, false // empty file
+	}
+	return off, lastKept, true
+}
+
+// writeLine appends one JSON line and makes it durable (flush + fsync) —
+// the crash-tolerance contract: a record is on disk before the search moves
+// past the boundary it describes.
+func (r *Recorder) writeLine(v any) error {
+	if r.f == nil {
+		return errors.New("flightrec: recorder is closed")
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("flightrec: marshal: %w", err)
+	}
+	if _, err := r.w.Write(append(payload, '\n')); err != nil {
+		return fmt.Errorf("flightrec: append: %w", err)
+	}
+	if err := r.w.Flush(); err != nil {
+		return fmt.Errorf("flightrec: flush: %w", err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("flightrec: sync: %w", err)
+	}
+	return nil
+}
+
+// RecordIteration appends one iteration record (implements Sink). Errors
+// are latched: the first failure disables the recorder so one bad disk does
+// not fail every subsequent iteration; Err reports it.
+func (r *Recorder) RecordIteration(it Iteration) {
+	it.Type = TypeIteration
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil || r.f == nil {
+		return
+	}
+	if err := r.writeLine(it); err != nil {
+		r.err = err
+		return
+	}
+	cp := it
+	r.last = &cp
+}
+
+// Err returns the first write failure, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Finish writes the summary line and closes the recorder. Zero-valued
+// convergence fields (Iters, SimHours, Evals, FrontSize, Hypervolume) are
+// filled from the last recorded iteration, so callers only supply what the
+// iteration stream cannot know (cache counters, interruption).
+func (r *Recorder) Finish(s Summary) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return errors.New("flightrec: recorder is closed")
+	}
+	if r.err != nil {
+		err := r.err
+		r.closeLocked()
+		return err
+	}
+	s.Type = TypeSummary
+	s = s.fillFromLast(r.last)
+	werr := r.writeLine(s)
+	cerr := r.closeLocked()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Close releases the file without writing a summary (a killed or failed
+// run). Idempotent.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closeLocked()
+}
+
+func (r *Recorder) closeLocked() error {
+	if r.f == nil {
+		return nil
+	}
+	_ = r.w.Flush()
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// Load reads an artifact back into a RunData. It is tolerant of the residue
+// of a crash — a torn trailing line is skipped — but a missing or malformed
+// header is an error: the file is not a flight record. Skipped (malformed
+// mid-file) lines are counted in the returned int.
+func Load(path string) (*RunData, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flightrec: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses an artifact stream; see Load.
+func Read(rd io.Reader) (*RunData, int, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	data := &RunData{}
+	skipped := 0
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			if first {
+				return nil, 0, fmt.Errorf("flightrec: malformed header line: %w", err)
+			}
+			skipped++ // torn or corrupt line (crash residue)
+			continue
+		}
+		switch probe.Type {
+		case TypeHeader:
+			if !first {
+				skipped++
+				continue
+			}
+			if err := json.Unmarshal(line, &data.Header); err != nil {
+				return nil, 0, fmt.Errorf("flightrec: decode header: %w", err)
+			}
+		case TypeIteration:
+			if first {
+				return nil, 0, errors.New("flightrec: artifact does not start with a header record")
+			}
+			var it Iteration
+			if err := json.Unmarshal(line, &it); err != nil {
+				skipped++
+				continue
+			}
+			data.Iters = append(data.Iters, it)
+		case TypeSummary:
+			if first {
+				return nil, 0, errors.New("flightrec: artifact does not start with a header record")
+			}
+			var s Summary
+			if err := json.Unmarshal(line, &s); err != nil {
+				skipped++
+				continue
+			}
+			data.Summary = &s
+		default:
+			if first {
+				return nil, 0, fmt.Errorf("flightrec: artifact starts with %q record, want header", probe.Type)
+			}
+			skipped++
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("flightrec: read artifact: %w", err)
+	}
+	if first {
+		return nil, 0, errors.New("flightrec: empty artifact")
+	}
+	return data, skipped, nil
+}

@@ -1,0 +1,330 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		RunID:     "abcd1234",
+		StartedAt: "2026-01-02T03:04:05Z",
+		Method:    "UNICO",
+		Workload:  "MobileNetV3-S",
+		Seed:      7,
+		Batch:     6,
+		MaxIter:   4,
+		BMax:      15,
+	}
+}
+
+func testIteration(i int) Iteration {
+	return Iteration{
+		Iter:          i,
+		SimHours:      float64(i) * 1.5,
+		Hypervolume:   0.1 * float64(i),
+		UUL:           ExtFloat(math.Inf(1)),
+		Evals:         10 * i,
+		Admitted:      i,
+		TrainSize:     2 * i,
+		BatchFeasible: i,
+		Best:          []float64{1.0 / float64(i), 100, 2},
+		Front:         [][]float64{{1.0 / float64(i), 100, 2}, {2, 50, 1}},
+		RungAlive:     []int{6, 3, 1},
+	}
+}
+
+func TestExtFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), math.Inf(-1), math.NaN()} {
+		b, err := json.Marshal(ExtFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got ExtFloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		g := float64(got)
+		if math.IsNaN(v) {
+			if !math.IsNaN(g) {
+				t.Errorf("NaN round-tripped to %v", g)
+			}
+		} else if g != v {
+			t.Errorf("%v round-tripped to %v (wire %s)", v, g, b)
+		}
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	r, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		r.RecordIteration(testIteration(i))
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if err := r.Finish(Summary{CacheHits: 5, CacheMisses: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, skipped, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d lines, want 0", skipped)
+	}
+	if d.Header.RunID != "abcd1234" || d.Header.Method != "UNICO" || d.Header.Seed != 7 {
+		t.Errorf("header mangled: %+v", d.Header)
+	}
+	if len(d.Iters) != 3 {
+		t.Fatalf("loaded %d iterations, want 3", len(d.Iters))
+	}
+	want := testIteration(2)
+	want.Type = TypeIteration
+	if !reflect.DeepEqual(d.Iters[1], want) {
+		t.Errorf("iteration 2 = %+v, want %+v", d.Iters[1], want)
+	}
+	if d.Summary == nil {
+		t.Fatal("no summary")
+	}
+	// Finish fills convergence fields from the last iteration.
+	if d.Summary.Iters != 3 || d.Summary.Evals != 30 || d.Summary.FrontSize != 2 {
+		t.Errorf("summary not filled from last iteration: %+v", d.Summary)
+	}
+	if d.Summary.CacheHits != 5 || d.Summary.CacheMisses != 7 {
+		t.Errorf("summary dropped caller fields: %+v", d.Summary)
+	}
+	if d.LastIter() != 3 {
+		t.Errorf("LastIter = %d, want 3", d.LastIter())
+	}
+}
+
+// TestResumeProducesIdenticalArtifact is the file-level half of the
+// kill/resume identity guarantee: an artifact whose run died after iteration
+// 2 and resumed from there ends up byte-identical to one written by an
+// uninterrupted run (given the same header, as in a real resume the caller
+// reuses the checkpointed identity).
+func TestResumeProducesIdenticalArtifact(t *testing.T) {
+	dir := t.TempDir()
+	hdr := testHeader()
+
+	full := filepath.Join(dir, "full.jsonl")
+	r, err := Create(full, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		r.RecordIteration(testIteration(i))
+	}
+	if err := r.Finish(Summary{}); err != nil {
+		t.Fatal(err)
+	}
+
+	killed := filepath.Join(dir, "killed.jsonl")
+	r, err = Create(killed, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordIteration(testIteration(1))
+	r.RecordIteration(testIteration(2))
+	if err := r.Close(); err != nil { // killed: no summary
+		t.Fatal(err)
+	}
+
+	r, err = Resume(killed, hdr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordIteration(testIteration(3))
+	r.RecordIteration(testIteration(4))
+	if err := r.Finish(Summary{}); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _ := os.ReadFile(full)
+	got, _ := os.ReadFile(killed)
+	if string(want) != string(got) {
+		t.Errorf("resumed artifact differs from uninterrupted one:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestResumeTruncatesBeyondBoundary: records past the checkpoint boundary,
+// an existing summary, and a torn trailing line are all dropped on resume.
+func TestResumeTruncatesBeyondBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	r, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		r.RecordIteration(testIteration(i))
+	}
+	if err := r.Finish(Summary{}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate crash residue: a torn (newline-less) partial record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"iteration","iter":9`)
+	f.Close()
+
+	r, err = Resume(path, testHeader(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordIteration(testIteration(3))
+	if err := r.Finish(Summary{}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, skipped, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d lines, want 0 after truncation", skipped)
+	}
+	if n := len(d.Iters); n != 3 {
+		t.Fatalf("%d iterations after resume, want 3 (1,2 kept + 3 appended)", n)
+	}
+	if d.Iters[2].Iter != 3 {
+		t.Errorf("last iteration = %d, want 3", d.Iters[2].Iter)
+	}
+	if d.Summary == nil || d.Summary.Iters != 3 {
+		t.Errorf("summary = %+v, want filled at iteration 3", d.Summary)
+	}
+}
+
+func TestResumeMissingFileFallsBackToCreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.jsonl")
+	r, err := Resume(path, testHeader(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordIteration(testIteration(6))
+	if err := r.Finish(Summary{}); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Iters) != 1 || d.Iters[0].Iter != 6 {
+		t.Errorf("fallback artifact = %+v", d.Iters)
+	}
+}
+
+func TestLoadRejectsMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.jsonl":    "",
+		"garbage.jsonl":  "this is not json\n",
+		"headless.jsonl": `{"type":"iteration","iter":1}` + "\n",
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(p); err == nil {
+			t.Errorf("%s: Load accepted malformed artifact", name)
+		}
+	}
+}
+
+func TestLoadSkipsTornTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	r, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordIteration(testIteration(1))
+	r.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString(`{"type":"iter`) // crash mid-append
+	f.Close()
+
+	d, skipped, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(d.Iters) != 1 || d.Summary != nil {
+		t.Errorf("unexpected shape: %d iters, summary %v", len(d.Iters), d.Summary)
+	}
+}
+
+func TestRecorderErrorLatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	r, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordIteration(testIteration(1))
+	// Close the file underneath the recorder: subsequent writes must latch an
+	// error instead of panicking, and Finish must surface it.
+	r.f.Close()
+	r.RecordIteration(testIteration(2))
+	if r.Err() == nil {
+		t.Fatal("write failure not latched")
+	}
+	r.RecordIteration(testIteration(3)) // must be a silent no-op
+	if err := r.Finish(Summary{}); err == nil {
+		t.Error("Finish suppressed the latched error")
+	}
+}
+
+func TestSummaryFillRespectsExplicitFields(t *testing.T) {
+	last := testIteration(4)
+	s := Summary{Iters: 9, SimHours: 99}.fillFromLast(&last)
+	if s.Iters != 9 || s.SimHours != 99 {
+		t.Errorf("explicit fields overwritten: %+v", s)
+	}
+	if s.Evals != last.Evals || s.FrontSize != len(last.Front) || s.Hypervolume != last.Hypervolume {
+		t.Errorf("zero fields not filled: %+v", s)
+	}
+}
+
+func TestHeaderFingerprintRoundTrip(t *testing.T) {
+	hdr := testHeader()
+	hdr.Fingerprint = map[string]any{"platform": "Spatial", "dim": 6.0}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	r, err := Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	d, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := d.Header.Fingerprint.(map[string]any)
+	if !ok || fp["platform"] != "Spatial" {
+		t.Errorf("fingerprint = %#v", d.Header.Fingerprint)
+	}
+	if !strings.Contains(mustJSON(t, d.Header), `"fingerprint"`) {
+		t.Error("fingerprint dropped from wire form")
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,121 @@
+package flightrec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Live is the in-memory flight record of the current run, feeding the
+// `/debug/unico` dashboard while a search executes. It implements Sink (the
+// write side, driven by the co-optimizer) and Snapshot (the read side,
+// driven by the dashboard handler); both are safe to call concurrently.
+//
+// StartRun resets the store, so one Live follows a whole process through a
+// sequence of runs (cmd/experiments), always showing the run in flight.
+type Live struct {
+	mu   sync.RWMutex
+	data RunData
+}
+
+// NewLive returns an empty live store.
+func NewLive() *Live { return &Live{} }
+
+// StartRun begins a new run: the header is recorded and any previous run's
+// records are dropped.
+func (l *Live) StartRun(hdr Header) {
+	hdr.Type = TypeHeader
+	l.mu.Lock()
+	l.data = RunData{Header: hdr}
+	l.mu.Unlock()
+}
+
+// ResumeRun begins a resumed run: like StartRun, but seeds the store with
+// the already-completed iterations loaded from the durable artifact so the
+// dashboard shows the whole history, not just the resumed suffix.
+func (l *Live) ResumeRun(hdr Header, iters []Iteration) {
+	hdr.Type = TypeHeader
+	l.mu.Lock()
+	l.data = RunData{Header: hdr, Iters: append([]Iteration(nil), iters...)}
+	l.mu.Unlock()
+}
+
+// RecordIteration appends one iteration record (implements Sink).
+func (l *Live) RecordIteration(it Iteration) {
+	it.Type = TypeIteration
+	l.mu.Lock()
+	// A replayed or re-run iteration (resume races, defensive) replaces any
+	// record with the same or later index rather than duplicating it.
+	for len(l.data.Iters) > 0 && l.data.Iters[len(l.data.Iters)-1].Iter >= it.Iter {
+		l.data.Iters = l.data.Iters[:len(l.data.Iters)-1]
+	}
+	l.data.Iters = append(l.data.Iters, it)
+	l.data.Summary = nil
+	l.mu.Unlock()
+}
+
+// FinishRun records the run's summary, completing zero-valued convergence
+// fields from the last recorded iteration like the durable recorder does.
+func (l *Live) FinishRun(s Summary) {
+	s.Type = TypeSummary
+	l.mu.Lock()
+	if n := len(l.data.Iters); n > 0 {
+		s = s.fillFromLast(&l.data.Iters[n-1])
+	}
+	l.data.Summary = &s
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current run data, safe to render while the
+// search keeps appending.
+func (l *Live) Snapshot() RunData {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := RunData{Header: l.data.Header}
+	out.Iters = append([]Iteration(nil), l.data.Iters...)
+	if l.data.Summary != nil {
+		s := *l.data.Summary
+		out.Summary = &s
+	}
+	return out
+}
+
+// activeLive is the process-wide live store, nil until a CLI installs one
+// (mirroring telemetry's default-tracer pattern: deeply nested runners feed
+// the dashboard without threading a handle through every signature).
+var activeLive atomic.Pointer[Live]
+
+// SetLive installs (or, with nil, removes) the process-wide live store.
+func SetLive(l *Live) { activeLive.Store(l) }
+
+// ActiveLive returns the process-wide live store, or nil.
+func ActiveLive() *Live { return activeLive.Load() }
+
+// EmitLive forwards one iteration record to the process-wide live store, if
+// installed. The co-optimizer calls this after every completed iteration
+// regardless of whether a durable recorder is attached.
+func EmitLive(it Iteration) {
+	if l := activeLive.Load(); l != nil {
+		l.RecordIteration(it)
+	}
+}
+
+// EmitLiveStart forwards a run header to the process-wide live store.
+func EmitLiveStart(hdr Header) {
+	if l := activeLive.Load(); l != nil {
+		l.StartRun(hdr)
+	}
+}
+
+// EmitLiveResume forwards a resumed run's header and replayed history.
+func EmitLiveResume(hdr Header, iters []Iteration) {
+	if l := activeLive.Load(); l != nil {
+		l.ResumeRun(hdr, iters)
+	}
+}
+
+// EmitLiveFinish forwards a run summary to the process-wide live store.
+func EmitLiveFinish(s Summary) {
+	if l := activeLive.Load(); l != nil {
+		l.FinishRun(s)
+	}
+}

@@ -1,0 +1,225 @@
+package flightrec
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenData is a fixed run whose rendering is pinned byte-for-byte: the
+// renderer is deterministic (no wall-clock, fixed float formatting), so any
+// change to the markup or the SVG math shows up as a golden diff.
+func goldenData() RunData {
+	d := RunData{Header: testHeader()}
+	for i := 1; i <= 4; i++ {
+		it := testIteration(i)
+		it.Type = TypeIteration
+		if i == 2 {
+			it.UUL = ExtFloat(1.25) // first surrogate update: UUL becomes finite
+		}
+		d.Iters = append(d.Iters, it)
+	}
+	s := Summary{Type: TypeSummary, CacheHits: 3, CacheMisses: 9}.fillFromLast(&d.Iters[3])
+	d.Summary = &s
+	return d
+}
+
+func TestReportHTMLGolden(t *testing.T) {
+	got := ReportHTML(goldenData(), "unico run report — golden")
+	path := filepath.Join("testdata", "report_golden.html")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/flightrec -run Golden -update`)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("rendered report differs from %s (regenerate with -update if the change is intended)\ngot:\n%s", path, got)
+	}
+}
+
+func TestHypervolumeSVGShape(t *testing.T) {
+	svg := HypervolumeSVG(goldenData().Iters)
+	for _, want := range []string{"<svg", "polyline", "hypervolume", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("hypervolume SVG missing %q", want)
+		}
+	}
+	if empty := HypervolumeSVG(nil); !strings.Contains(empty, "no data") {
+		t.Errorf("empty-run SVG should carry a no-data note, got %q", empty)
+	}
+}
+
+func TestScatterSVGShape(t *testing.T) {
+	front := [][]float64{{1, 100, 2}, {2, 50, 1}, {3, 25, 0.5}}
+	svg := ScatterSVG(front, 0, 1)
+	if strings.Count(svg, "<circle") != len(front) {
+		t.Errorf("scatter has %d points, want %d:\n%s", strings.Count(svg, "<circle"), len(front), svg)
+	}
+	if !strings.Contains(svg, "latency ms") || !strings.Contains(svg, "power mW") {
+		t.Errorf("axis labels missing:\n%s", svg)
+	}
+	// A point with a non-finite coordinate must not emit NaN into the markup.
+	bad := ScatterSVG([][]float64{{math.NaN(), 1, 1}}, 0, 1)
+	if strings.Contains(bad, "NaN") {
+		t.Errorf("NaN leaked into SVG coordinates:\n%s", bad)
+	}
+}
+
+func TestRungTableNewestFirst(t *testing.T) {
+	html := RungTableHTML(goldenData().Iters, 2)
+	i4 := strings.Index(html, "<td>4</td>")
+	i3 := strings.Index(html, "<td>3</td>")
+	if i4 < 0 || i3 < 0 || i4 > i3 {
+		t.Errorf("rows not newest-first (idx4=%d idx3=%d):\n%s", i4, i3, html)
+	}
+	if strings.Contains(html, "<td>2</td>") {
+		t.Errorf("maxRows not applied:\n%s", html)
+	}
+	if !strings.Contains(html, "6 → 3 → 1") {
+		t.Errorf("survivor curve missing:\n%s", html)
+	}
+}
+
+func TestDashboardHandler(t *testing.T) {
+	l := NewLive()
+	l.StartRun(testHeader())
+	l.RecordIteration(testIteration(1))
+
+	rec := httptest.NewRecorder()
+	DashboardHandler(l).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/unico", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if rec.Header().Get("Refresh") == "" {
+		t.Error("no auto-refresh header")
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "run abcd1234") || !strings.Contains(body, "<svg") {
+		t.Errorf("dashboard body incomplete:\n%.400s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	DashboardHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/unico", nil))
+	if rec.Code != 503 {
+		t.Errorf("nil source: status %d, want 503", rec.Code)
+	}
+}
+
+// TestLiveConcurrentEmitAndRender exercises the dashboard's real concurrency
+// shape under -race: one writer appending iterations through the process-wide
+// emit path while readers snapshot and render the full HTML page.
+func TestLiveConcurrentEmitAndRender(t *testing.T) {
+	l := NewLive()
+	SetLive(l)
+	defer SetLive(nil)
+	EmitLiveStart(testHeader())
+
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= iters; i++ {
+			EmitLive(testIteration(i))
+		}
+		EmitLiveFinish(Summary{})
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := l.Snapshot()
+				if html := ReportHTML(d, "race"); len(html) == 0 {
+					t.Error("empty render")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	d := l.Snapshot()
+	if len(d.Iters) != iters || d.Summary == nil {
+		t.Errorf("final live state: %d iters, summary %v", len(d.Iters), d.Summary)
+	}
+	for i, it := range d.Iters {
+		if it.Iter != i+1 {
+			t.Fatalf("iteration order broken at %d: %d", i, it.Iter)
+		}
+	}
+}
+
+func TestLiveResumeAndDedup(t *testing.T) {
+	l := NewLive()
+	var history []Iteration
+	for i := 1; i <= 3; i++ {
+		it := testIteration(i)
+		it.Type = TypeIteration
+		history = append(history, it)
+	}
+	l.ResumeRun(testHeader(), history)
+	// A defensive replay of iteration 3 must replace, not duplicate.
+	l.RecordIteration(testIteration(3))
+	l.RecordIteration(testIteration(4))
+	d := l.Snapshot()
+	if len(d.Iters) != 4 {
+		t.Fatalf("%d iterations after dedup, want 4", len(d.Iters))
+	}
+	for i, it := range d.Iters {
+		if it.Iter != i+1 {
+			t.Errorf("position %d holds iteration %d", i, it.Iter)
+		}
+	}
+}
+
+func TestEmitWithoutStoreIsNoop(t *testing.T) {
+	SetLive(nil)
+	// Must not panic.
+	EmitLiveStart(testHeader())
+	EmitLive(testIteration(1))
+	EmitLiveFinish(Summary{})
+	if ActiveLive() != nil {
+		t.Error("store appeared from nowhere")
+	}
+}
+
+func BenchmarkReportHTML(b *testing.B) {
+	d := goldenData()
+	for i := 5; i <= 100; i++ {
+		it := testIteration(i)
+		it.Type = TypeIteration
+		d.Iters = append(d.Iters, it)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := ReportHTML(d, "bench"); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func ExampleReportHTML() {
+	d := RunData{Header: Header{RunID: "ex", Method: "UNICO"}}
+	html := ReportHTML(d, "example")
+	fmt.Println(strings.Contains(string(html), "waiting for the first completed iteration"))
+	// Output: true
+}

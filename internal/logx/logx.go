@@ -1,0 +1,112 @@
+// Package logx is the shared slog setup of the unico binaries: one Setup
+// call turns the -log-format/-log-level flag pair into a configured
+// *slog.Logger (installed as the process default), and every record carries
+// the current run ID (internal/runid) so a log line anywhere — client,
+// experiment sweep, ppaserver — is attributable to the run that caused it.
+// It also provides the HTTP access-log middleware ppaserver wraps its
+// handler with, which logs each request with the caller's run ID taken from
+// the X-Unico-Run-ID header.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"unico/internal/runid"
+)
+
+// runIDHandler decorates every record with the process-wide run ID, read at
+// log time so records emitted before a run starts simply omit it.
+type runIDHandler struct{ slog.Handler }
+
+func (h runIDHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := runid.Current(); id != "" {
+		r.AddAttrs(slog.String("run_id", id))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h runIDHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return runIDHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h runIDHandler) WithGroup(name string) slog.Handler {
+	return runIDHandler{h.Handler.WithGroup(name)}
+}
+
+// ParseLevel converts a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("logx: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// Setup builds the logger the -log-format ("text" or "json") and -log-level
+// flags describe, writing to stderr, and installs it as both the slog and
+// the stdlib log default so third-party log.Printf calls flow through it.
+func Setup(format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (text|json)", format)
+	}
+	logger := slog.New(runIDHandler{h})
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// AccessLog wraps an HTTP handler with per-request logging: method, path,
+// status, duration, and the originating client's run ID from the
+// X-Unico-Run-ID header — the correlation that makes a ppaserver request
+// attributable to the exact co-search run that issued it.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start)),
+			slog.String("remote", r.RemoteAddr),
+		}
+		if id := r.Header.Get(runid.Header); id != "" {
+			attrs = append(attrs, slog.String("client_run_id", id))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}

@@ -1,0 +1,129 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"unico/internal/runid"
+)
+
+func jsonLogger(buf *bytes.Buffer) *slog.Logger {
+	return slog.New(runIDHandler{slog.NewJSONHandler(buf, nil)})
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestSetupRejectsBadInputs(t *testing.T) {
+	if _, err := Setup("xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := Setup("text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestRunIDAttachedAtLogTime(t *testing.T) {
+	prev := runid.Current()
+	defer runid.Set(prev)
+
+	var buf bytes.Buffer
+	logger := jsonLogger(&buf)
+
+	runid.Set("")
+	logger.Info("before run")
+	runid.Set("deadbeef")
+	logger.Info("during run")
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("%d log lines, want 2", len(lines))
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(lines[1], &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first["run_id"]; ok {
+		t.Errorf("pre-run record carries run_id: %v", first)
+	}
+	if second["run_id"] != "deadbeef" {
+		t.Errorf("run_id = %v, want deadbeef", second["run_id"])
+	}
+}
+
+func TestRunIDSurvivesWithAttrsAndGroup(t *testing.T) {
+	prev := runid.Current()
+	runid.Set("cafe0123")
+	defer runid.Set(prev)
+
+	var buf bytes.Buffer
+	logger := jsonLogger(&buf).With("component", "test").WithGroup("g")
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "m", slog.String("k", "v"))
+
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "test" {
+		t.Errorf("WithAttrs lost: %v", rec)
+	}
+	// The run ID is added per-record inside the active group — what matters
+	// is that the derived handlers still pass through runIDHandler at all.
+	if g, ok := rec["g"].(map[string]any); !ok || g["run_id"] != "cafe0123" {
+		t.Errorf("run_id missing after WithAttrs/WithGroup: %v", rec)
+	}
+}
+
+func TestAccessLogCarriesClientRunID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := jsonLogger(&buf)
+	h := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	req := httptest.NewRequest("POST", "/v1/ppa", nil)
+	req.Header.Set(runid.Header, "feed4242")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["client_run_id"] != "feed4242" {
+		t.Errorf("client_run_id = %v, want feed4242", rec["client_run_id"])
+	}
+	if rec["method"] != "POST" || rec["path"] != "/v1/ppa" || rec["status"] != float64(http.StatusTeapot) {
+		t.Errorf("access record incomplete: %v", rec)
+	}
+
+	// Without the header there must be no client_run_id key at all.
+	buf.Reset()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/healthz", nil))
+	var plain map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["client_run_id"]; ok {
+		t.Errorf("client_run_id present without header: %v", plain)
+	}
+}

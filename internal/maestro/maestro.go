@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"unico/internal/hw"
 	"unico/internal/mapping"
@@ -148,11 +149,13 @@ type Report struct {
 var (
 	evalCount      = telemetry.PPAEvals("maestro")
 	evalInfeasible = telemetry.PPAInfeasible("maestro")
+	evalSeconds    = telemetry.PPAEvalSeconds("maestro")
 )
 
 // Evaluate returns the PPA of running one layer with mapping m on hardware c.
 func (e Engine) Evaluate(c hw.Spatial, m mapping.Spatial, l workload.Layer) (ppa.Metrics, error) {
 	evalCount.Inc()
+	defer func(start time.Time) { evalSeconds.Observe(time.Since(start).Seconds()) }(time.Now())
 	rep, err := e.Explain(c, m, l)
 	if err != nil {
 		if errors.Is(err, ErrInfeasible) {

@@ -1,0 +1,42 @@
+// Package runid generates and holds the per-run correlation ID that ties a
+// co-search's observability surfaces together: every slog record, the flight
+// record header, and every internal/dist request (as the Header HTTP header,
+// which ppaserver echoes into its request logs and metrics). One ID is
+// generated when a run starts and installed process-wide, so deeply nested
+// code — HTTP clients, engines — can attach it without threading it through
+// every signature.
+package runid
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Header is the HTTP header carrying the run ID across the dist boundary.
+const Header = "X-Unico-Run-ID"
+
+// New returns a fresh random run ID (16 hex chars).
+func New() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; a fixed fallback
+		// keeps the ID non-empty rather than panicking a long run.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// current is the process-wide run ID ("" until a run starts).
+var current atomic.Value
+
+// Set installs the process-wide current run ID.
+func Set(id string) { current.Store(id) }
+
+// Current returns the process-wide run ID, or "" when no run has started.
+func Current() string {
+	if v, ok := current.Load().(string); ok {
+		return v
+	}
+	return ""
+}

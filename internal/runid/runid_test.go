@@ -1,0 +1,31 @@
+package runid
+
+import "testing"
+
+func TestNewIsUniqueAndWellFormed(t *testing.T) {
+	a, b := New(), New()
+	if a == b {
+		t.Errorf("two fresh IDs collide: %q", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("ID %q has length %d, want 16 hex chars", a, len(a))
+	}
+	for _, c := range a {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			t.Errorf("ID %q contains non-hex char %q", a, c)
+		}
+	}
+}
+
+func TestSetCurrentRoundTrip(t *testing.T) {
+	prev := Current()
+	defer Set(prev)
+	Set("roundtrip")
+	if got := Current(); got != "roundtrip" {
+		t.Errorf("Current() = %q after Set", got)
+	}
+	Set("")
+	if got := Current(); got != "" {
+		t.Errorf("Current() = %q after clearing", got)
+	}
+}

@@ -86,6 +86,9 @@ type Outcome struct {
 	TotalEvals int
 	// Rounds is the number of successive-halving rounds executed.
 	Rounds int
+	// RungAlive is the survivor curve: the candidate count entering the
+	// schedule, then the count alive after each promotion — e.g. 30 → 15 → 8.
+	RungAlive []int
 }
 
 // Run schedules the software-mapping searches of a batch of hardware
@@ -117,6 +120,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 		alive[i] = i
 	}
 	totalEvals := 0
+	rungAlive := []int{n}
 	for r := 0; r < rounds; r++ {
 		if ctx.Err() != nil {
 			break
@@ -175,6 +179,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 			break
 		}
 		alive = Promote(jobs, alive, cfg)
+		rungAlive = append(rungAlive, len(alive))
 		telemetry.SHRungs().Inc()
 		telemetry.SHSurvivors().Set(float64(len(alive)))
 		cfg.Tracer.Complete("sh_rung", "sh", 0, simStart, simNow(cfg.Clock), map[string]any{
@@ -203,7 +208,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 	for i, j := range jobs {
 		hist[i] = j.History()
 	}
-	return Outcome{Histories: hist, Survivors: alive, TotalEvals: totalEvals, Rounds: rounds}
+	return Outcome{Histories: hist, Survivors: alive, TotalEvals: totalEvals, Rounds: rounds, RungAlive: rungAlive}
 }
 
 // Promote selects the surviving candidate indices for the next round: the

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"net/http"
 	"net/http/pprof"
@@ -81,19 +82,57 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	return mux
 }
 
-// ServeDebug starts a background HTTP server exposing DebugMux on addr —
-// the sidecar metrics listener of the CLIs' -metrics-addr flag. Errors are
-// reported through errf (may be nil) rather than failing the main program.
-func ServeDebug(addr string, reg *Registry, errf func(error)) {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           DebugMux(reg),
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+// DebugServer is the sidecar observability listener of the CLIs'
+// -metrics-addr flag: DebugMux plus whatever extra routes the binary mounts
+// (the /debug/unico dashboard), with an owned lifecycle — start it, then
+// Shutdown (graceful) or Close (immediate) from the signal path.
+type DebugServer struct {
+	mux *http.ServeMux
+	srv *http.Server
+}
+
+// NewDebugServer builds a debug server on addr without starting it, so
+// callers can mount extra routes on Mux first.
+func NewDebugServer(addr string, reg *Registry) *DebugServer {
+	mux := DebugMux(reg)
+	return &DebugServer{
+		mux: mux,
+		srv: &http.Server{
+			Addr:              addr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
 	}
+}
+
+// Mux exposes the underlying mux for extra routes (mount before Start).
+func (d *DebugServer) Mux() *http.ServeMux { return d.mux }
+
+// Start begins serving in the background. Listener errors are reported
+// through errf (may be nil) rather than failing the main program.
+func (d *DebugServer) Start(errf func(error)) {
 	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+		if err := d.srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
 			errf(err)
 		}
 	}()
+}
+
+// Shutdown drains in-flight requests until ctx expires, then closes.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	return d.srv.Shutdown(ctx)
+}
+
+// Close stops the listener immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts a background HTTP server exposing DebugMux on addr and
+// returns its handle so the caller's signal path can shut it down. Errors
+// are reported through errf (may be nil) rather than failing the main
+// program.
+func ServeDebug(addr string, reg *Registry, errf func(error)) *DebugServer {
+	d := NewDebugServer(addr, reg)
+	d.Start(errf)
+	return d
 }

@@ -26,6 +26,34 @@ func PPAEvals(engine string) *Counter {
 	return c
 }
 
+var (
+	ppaEvalSecondsMu sync.Mutex
+	ppaEvalSeconds   = map[string]*Histogram{}
+)
+
+// ppaEvalBuckets span host-side evaluation latencies from the analytical
+// models (tens of µs) through cycle-level simulation (ms) to remote round
+// trips with retries (seconds).
+var ppaEvalBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// PPAEvalSeconds observes host-side (wall-clock, not simulated) PPA
+// evaluation latency for one engine ("maestro", "camodel", "dist").
+func PPAEvalSeconds(engine string) *Histogram {
+	ppaEvalSecondsMu.Lock()
+	defer ppaEvalSecondsMu.Unlock()
+	h := ppaEvalSeconds[engine]
+	if h == nil {
+		h = DefaultRegistry.Histogram("unico_ppa_eval_seconds",
+			"Host-side PPA evaluation latency by engine.", ppaEvalBuckets,
+			Labels{"engine": engine})
+		ppaEvalSeconds[engine] = h
+	}
+	return h
+}
+
 // PPAInfeasible counts PPA evaluations rejected as infeasible, per engine.
 func PPAInfeasible(engine string) *Counter {
 	ppaEvalsMu.Lock()
@@ -274,6 +302,38 @@ func EvalCacheSkippedLines() *Counter {
 			"Malformed or truncated JSONL lines skipped while loading a persisted cache.", nil)
 	})
 	return cacheSkipped
+}
+
+var (
+	runReqMu sync.Mutex
+	runReqs  = map[string]*Counter{}
+)
+
+// maxRunIDLabels caps the distinct run-ID labels a long-lived worker keeps;
+// later runs fold into "other" so the label set cannot grow without bound.
+const maxRunIDLabels = 64
+
+// DistRunRequests counts worker requests by originating client run ID (from
+// the X-Unico-Run-ID header; "" folds to "unknown").
+func DistRunRequests(runID string) *Counter {
+	if runID == "" {
+		runID = "unknown"
+	}
+	runReqMu.Lock()
+	defer runReqMu.Unlock()
+	c := runReqs[runID]
+	if c == nil {
+		if len(runReqs) >= maxRunIDLabels {
+			runID = "other"
+			if c = runReqs[runID]; c != nil {
+				return c
+			}
+		}
+		c = DefaultRegistry.Counter("unico_dist_run_requests_total",
+			"Worker requests by originating client run ID.", Labels{"run_id": runID})
+		runReqs[runID] = c
+	}
+	return c
 }
 
 // DistWorkerEvictions counts workers evicted from the master's rotation.

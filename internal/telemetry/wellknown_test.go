@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderMetrics returns the DefaultRegistry's Prometheus exposition.
+func renderMetrics(t *testing.T) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	DefaultRegistry.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	return rec.Body.String()
+}
+
+func TestPPAEvalSecondsPerEngine(t *testing.T) {
+	h1 := PPAEvalSeconds("engine-a")
+	h2 := PPAEvalSeconds("engine-a")
+	if h1 != h2 {
+		t.Error("same engine returned distinct histograms")
+	}
+	if PPAEvalSeconds("engine-b") == h1 {
+		t.Error("distinct engines share a histogram")
+	}
+	h1.Observe(0.003)
+	out := renderMetrics(t)
+	if !strings.Contains(out, `unico_ppa_eval_seconds_count{engine="engine-a"} 1`) {
+		t.Errorf("histogram missing from exposition:\n%.600s", out)
+	}
+}
+
+func TestDistRunRequestsLabelCap(t *testing.T) {
+	base := DistRunRequests("cap-base")
+	if DistRunRequests("cap-base") != base {
+		t.Error("same run ID returned distinct counters")
+	}
+	if DistRunRequests("") != DistRunRequests("unknown") {
+		t.Error("empty run ID does not fold to unknown")
+	}
+	// Flood past the cap: new IDs must fold into "other" instead of growing
+	// the label set without bound.
+	for i := 0; i < maxRunIDLabels+8; i++ {
+		DistRunRequests(fmt.Sprintf("cap-flood-%03d", i)).Inc()
+	}
+	other := DistRunRequests("cap-flood-overflow-a")
+	if other != DistRunRequests("cap-flood-overflow-b") {
+		t.Error("post-cap run IDs not folded into one counter")
+	}
+	runReqMu.Lock()
+	n := len(runReqs)
+	runReqMu.Unlock()
+	if n > maxRunIDLabels+1 { // the cap plus the "other" bucket
+		t.Errorf("label set grew to %d entries, cap is %d", n, maxRunIDLabels)
+	}
+}
+
+func TestDebugServerLifecycle(t *testing.T) {
+	d := NewDebugServer("127.0.0.1:0", nil)
+	d.Mux().HandleFunc("GET /debug/extra", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "extra ok")
+	})
+	// Exercise the mounted route without a real listener (the addr is :0 and
+	// Start is fire-and-forget; the mux is what the route contract is about).
+	rec := httptest.NewRecorder()
+	d.Mux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/extra", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "extra ok") {
+		t.Errorf("extra route: %d %q", rec.Code, rec.Body.String())
+	}
+
+	d.Start(func(err error) { t.Errorf("listener error: %v", err) })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	// Close after Shutdown must be safe (double-stop from signal paths).
+	if err := d.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("Close after Shutdown: %v", err)
+	}
+}

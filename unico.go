@@ -33,9 +33,11 @@ import (
 	"unico/internal/core"
 	"unico/internal/dist"
 	"unico/internal/evalcache"
+	"unico/internal/flightrec"
 	"unico/internal/hw"
 	"unico/internal/mapsearch"
 	"unico/internal/platform"
+	"unico/internal/runid"
 	"unico/internal/simclock"
 	"unico/internal/telemetry"
 	"unico/internal/workload"
@@ -271,6 +273,21 @@ type Config struct {
 	// (never a silently-hybrid run). With no checkpoint on disk the run
 	// starts fresh, so -resume is safe to pass unconditionally.
 	Resume bool
+	// FlightRecordFile enables the flight recorder: a durable run.jsonl
+	// artifact at this path with the run header (run ID, method, seed,
+	// options fingerprint), one record per completed iteration (hypervolume,
+	// UUL, feasible front, SH survivor curve, eval/cache counters) and a
+	// final summary — readable with cmd/unicoreport or flightrec.Load. With
+	// Resume, the recorder appends past the checkpoint replay boundary
+	// without duplicating records, so a kill/resume run leaves an artifact
+	// record-identical to an uninterrupted one. Recording never changes the
+	// search result. Not supported for MethodNSGAII.
+	FlightRecordFile string
+	// RunID is the correlation ID stamped on the flight-record header and
+	// installed process-wide (internal/runid) so log records and dist
+	// requests carry it. Empty uses the already-installed process ID, or
+	// generates a fresh one.
+	RunID string
 	// TraceWriter, if non-nil, receives the run's search events as Chrome
 	// trace_event JSONL (open with a trace viewer after `jq -s .`, or read
 	// line-by-line). Tracing never changes the search result.
@@ -405,6 +422,72 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		opt.Resume = resume
 	}
 
+	runID := cfg.RunID
+	if runID == "" {
+		runID = runid.Current()
+	}
+	if runID == "" {
+		runID = runid.New()
+	}
+	runid.Set(runID)
+
+	if cfg.FlightRecordFile != "" && cfg.Method == MethodNSGAII {
+		return nil, fmt.Errorf("unico: flight recording is not supported for MethodNSGAII")
+	}
+	var flight *flightrec.Recorder
+	defer func() {
+		if flight != nil {
+			_ = flight.Close() // no-op after Finish; releases the file on early error paths
+		}
+	}()
+	// applyFlight stamps the run header (identity + the same fingerprint the
+	// checkpoint contract validates), opens the durable recorder when
+	// configured, and announces the run to the live dashboard store. It runs
+	// after applyCheckpoint so the resume boundary is known.
+	applyFlight := func(opt *core.Options) error {
+		hdr := flightrec.Header{
+			RunID:       runID,
+			StartedAt:   time.Now().UTC().Format(time.RFC3339),
+			Method:      cfg.Method.String(),
+			Workload:    workloadName(p.inner),
+			Seed:        cfg.Seed,
+			Batch:       cfg.BatchSize,
+			MaxIter:     cfg.Iterations,
+			BMax:        cfg.BudgetMax,
+			Fingerprint: core.FingerprintFor(inner, *opt),
+		}
+		if cfg.FlightRecordFile == "" {
+			flightrec.EmitLiveStart(hdr)
+			return nil
+		}
+		var err error
+		if resume != nil {
+			flight, err = flightrec.Resume(cfg.FlightRecordFile, hdr, resume.LastIter())
+			if err != nil {
+				return err
+			}
+			// Seed the dashboard with the replayed history the artifact kept,
+			// so the live curve covers the whole run, not just the suffix.
+			if d, _, lerr := flightrec.Load(cfg.FlightRecordFile); lerr == nil {
+				flightrec.EmitLiveResume(hdr, d.Iters)
+			} else {
+				flightrec.EmitLiveStart(hdr)
+			}
+		} else {
+			flight, err = flightrec.Create(cfg.FlightRecordFile, hdr)
+			if err != nil {
+				return err
+			}
+			flightrec.EmitLiveStart(hdr)
+		}
+		var fsink flightrec.Sink = flight
+		if cache != nil {
+			fsink = cacheStampSink{inner: flight, cache: cache}
+		}
+		opt.Flight = fsink
+		return nil
+	}
+
 	var tracer *telemetry.Tracer
 	if cfg.TraceWriter != nil {
 		tracer = telemetry.NewTracer(cfg.TraceWriter)
@@ -435,6 +518,9 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		opt.Tracer = tracer
 		opt.Progress = progress
 		applyCheckpoint(&opt)
+		if err := applyFlight(&opt); err != nil {
+			return nil, err
+		}
 		res = core.RunContext(ctx, inner, opt)
 	case MethodHASCO:
 		opt := baselines.HASCOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
@@ -443,6 +529,9 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		opt.Tracer = tracer
 		opt.Progress = progress
 		applyCheckpoint(&opt)
+		if err := applyFlight(&opt); err != nil {
+			return nil, err
+		}
 		res = core.RunContext(ctx, inner, opt)
 	case MethodMOBOHB:
 		opt := baselines.MOBOHBOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
@@ -452,6 +541,9 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		opt.Tracer = tracer
 		opt.Progress = progress
 		applyCheckpoint(&opt)
+		if err := applyFlight(&opt); err != nil {
+			return nil, err
+		}
 		res = core.RunContext(ctx, inner, opt)
 	case MethodNSGAII:
 		res = baselines.NSGAII(inner, baselines.NSGAIIOptions{
@@ -490,10 +582,49 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 			}
 		}
 	}
+	// Seal the flight record: the summary's convergence fields are filled
+	// from the last iteration by the recorder; we supply what the iteration
+	// stream cannot know. A write failure is non-fatal to the search, like a
+	// checkpoint failure.
+	var flightErr error
+	if cfg.Method != MethodNSGAII {
+		sum := flightrec.Summary{Interrupted: ctx.Err() != nil}
+		sum.CacheHits, sum.CacheMisses = out.CacheHits, out.CacheMisses
+		if flight != nil {
+			flightErr = flight.Finish(sum)
+		}
+		flightrec.EmitLiveFinish(sum)
+	}
+
 	// A mid-run checkpoint write failure is non-fatal to the search; hand
 	// back the result along with it so callers know resume coverage is
 	// incomplete.
-	return out, res.CheckpointErr
+	if res.CheckpointErr != nil {
+		return out, res.CheckpointErr
+	}
+	return out, flightErr
+}
+
+// cacheStampSink forwards flight records with the evaluation cache's
+// cumulative counters stamped on: the cache lives at this facade layer, so
+// core cannot fill these fields itself.
+type cacheStampSink struct {
+	inner flightrec.Sink
+	cache *evalcache.Cache
+}
+
+func (s cacheStampSink) RecordIteration(it flightrec.Iteration) {
+	st := s.cache.Stats()
+	it.CacheHits, it.CacheMisses = st.Hits, st.Misses
+	s.inner.RecordIteration(it)
+}
+
+// workloadName extracts the platform's combined workload name, when exposed.
+func workloadName(p core.Platform) string {
+	if wp, ok := p.(interface{ Workload() workload.Workload }); ok {
+		return wp.Workload().Name
+	}
+	return ""
 }
 
 // withCache returns a platform whose PPA engines are wrapped with c, leaving
