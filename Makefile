@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test lint lint-verbose lint-test fmt tidy check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## lint runs unicolint (the in-repo analysis suite under lint/) over the
+## whole root module. The lint module is nested so the root module stays
+## dependency-free; -C .. points the driver back at the repo root.
+lint:
+	cd lint && $(GO) run ./cmd/unicolint -C .. ./...
+
+lint-verbose:
+	cd lint && $(GO) run ./cmd/unicolint -C .. -verbose ./...
+
+lint-test:
+	cd lint && $(GO) vet ./... && $(GO) test ./...
+
+fmt:
+	gofmt -l .
+
+tidy:
+	$(GO) mod tidy -diff
+	cd lint && $(GO) mod tidy -diff
+
+check: fmt tidy build test lint-test lint

@@ -101,6 +101,7 @@ func main() {
 
 	if cache != nil && *cacheFile != "" && *checkpointEvery > 0 {
 		go func() {
+			//unicolint:allow detclock real-time periodic cache persistence in the server main, not search state
 			tick := time.NewTicker(*checkpointEvery)
 			defer tick.Stop()
 			for {

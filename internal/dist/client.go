@@ -166,7 +166,7 @@ func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any)
 			return err
 		}
 		telemetry.DistRetries().Inc()
-		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)) //unicolint:allow detclock retry-backoff jitter; search spend is counted in evaluations, not wall time
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -226,7 +226,7 @@ func (c *Client) EvaluatePPAContext(ctx context.Context, req PPARequest) (PPARes
 }
 
 func (c *Client) evaluatePPA(ctx context.Context, req PPARequest) (PPAResponse, error) {
-	start := time.Now()
+	start := time.Now() //unicolint:allow detclock host-side eval-latency metric on the remote transport path
 	defer func() { telemetry.PPAEvalSeconds("dist").Observe(time.Since(start).Seconds()) }()
 	var resp PPAResponse
 	if err := c.postIdempotent(ctx, "/v1/ppa", req, &resp); err != nil {

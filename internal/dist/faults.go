@@ -77,6 +77,7 @@ func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.injected++
 		d := f.hangFor
 		f.mu.Unlock()
+		//unicolint:allow detclock the fault injector hangs the handler on purpose to exercise client timeouts
 		time.Sleep(d)
 		http.Error(w, "injected hang", http.StatusServiceUnavailable)
 		return

@@ -30,6 +30,12 @@ import (
 	"unico/internal/workload"
 )
 
+// now stamps run metadata (the StartedAt field of flight-record headers).
+// It is the package's single wall-clock injection point: tests pin it to a
+// fixed instant, and the timestamp is informational only — resume identity
+// and every comparative result run on simulated clocks.
+var now = time.Now //unicolint:allow detclock single injection point for run-metadata timestamps; overridden in tests
+
 // Scale sets the experiment sizes. PaperScale mirrors the paper's settings;
 // SmallScale keeps every runner fast enough for unit benches while
 // preserving the comparative shapes.
@@ -100,7 +106,7 @@ func (s Scale) run(name string, p core.Platform, opt core.Options) core.Result {
 	// experiment and algorithm ("fig7-edge-unico-seed1").
 	hdr := flightrec.Header{
 		RunID:       runid.Current(),
-		StartedAt:   time.Now().UTC().Format(time.RFC3339),
+		StartedAt:   now().UTC().Format(time.RFC3339),
 		Method:      name,
 		Seed:        opt.Seed,
 		Batch:       opt.BatchSize,

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"unico/internal/flightrec"
 	"unico/internal/hw"
 )
 
@@ -50,6 +53,34 @@ func TestRunEdgeCloudTable(t *testing.T) {
 	for net, speedup := range res.SpeedupSummary() {
 		if speedup <= 1 {
 			t.Errorf("%s: UNICO not cheaper than HASCO (speedup %.2fx)", net, speedup)
+		}
+	}
+}
+
+// The wall clock reaches run metadata only through the injected now func
+// (the package's single detclock allow); pinning it must pin the StartedAt
+// stamp of every flight-record header an experiment writes.
+func TestRunMetadataTimestampIsInjected(t *testing.T) {
+	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	old := now
+	now = func() time.Time { return fixed }
+	defer func() { now = old }()
+
+	s := tinyScale()
+	s.FlightDir = t.TempDir()
+	RunGeneralization(nil, s)
+
+	paths, err := filepath.Glob(filepath.Join(s.FlightDir, "*.run.jsonl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no flight records written (err=%v)", err)
+	}
+	for _, p := range paths {
+		d, _, err := flightrec.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		if want := "2026-01-02T03:04:05Z"; d.Header.StartedAt != want {
+			t.Errorf("%s: StartedAt = %q, want the pinned %q", filepath.Base(p), d.Header.StartedAt, want)
 		}
 	}
 }

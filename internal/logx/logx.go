@@ -94,14 +94,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 // attributable to the exact co-search run that issued it.
 func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //unicolint:allow detclock request latency for the access log is wall time by definition
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		attrs := []slog.Attr{
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", rec.status),
-			slog.Duration("duration", time.Since(start)),
+			slog.Duration("duration", time.Since(start)), //unicolint:allow detclock request latency for the access log is wall time by definition
 			slog.String("remote", r.RemoteAddr),
 		}
 		if id := r.Header.Get(runid.Header); id != "" {

@@ -51,9 +51,9 @@ func InstrumentHandler(reg *Registry, route func(*http.Request) string, h http.H
 		inflight.Inc()
 		defer inflight.Dec()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
+		start := time.Now() //unicolint:allow detclock HTTP request-latency metric is wall time by definition
 		h.ServeHTTP(rec, r)
-		elapsed := time.Since(start).Seconds()
+		elapsed := time.Since(start).Seconds() //unicolint:allow detclock HTTP request-latency metric is wall time by definition
 		reg.Counter("unico_http_requests_total", "HTTP requests by route, method and status class.",
 			Labels{"route": rt, "method": r.Method, "code": codeClass(rec.code)}).Inc()
 		reg.Histogram("unico_http_request_seconds", "HTTP request latency by route.",

@@ -316,9 +316,10 @@ func (r *Registry) Handler() http.Handler {
 func (r *Registry) Snapshot() map[string]any {
 	out := map[string]any{}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
 	}
 	r.mu.Unlock()
 	for _, f := range fams {

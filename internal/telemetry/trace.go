@@ -41,7 +41,7 @@ type traceEvent struct {
 // NewTracer returns a tracer writing JSONL events to w.
 func NewTracer(w io.Writer) *Tracer {
 	bw := bufio.NewWriter(w)
-	t := &Tracer{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+	t := &Tracer{w: bw, enc: json.NewEncoder(bw), start: time.Now()} //unicolint:allow detclock trace events carry real time alongside simulated time
 	t.emit(traceEvent{
 		Name: "process_name", Ph: "M", PID: 1,
 		Args: map[string]any{"name": "unico co-search (simulated time)"},
@@ -70,7 +70,7 @@ func (t *Tracer) StartSpan(name, cat string, tid int64, simSec float64) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, name: name, cat: cat, tid: tid, simStart: simSec, realStart: time.Now()}
+	return &Span{t: t, name: name, cat: cat, tid: tid, simStart: simSec, realStart: time.Now()} //unicolint:allow detclock trace events carry real time alongside simulated time
 }
 
 // End closes the span at simulated time simSec, attaching args (real
@@ -82,7 +82,7 @@ func (s *Span) End(simSec float64, args map[string]any) {
 	if args == nil {
 		args = map[string]any{}
 	}
-	args["real_ms"] = float64(time.Since(s.realStart)) / float64(time.Millisecond)
+	args["real_ms"] = float64(time.Since(s.realStart)) / float64(time.Millisecond) //unicolint:allow detclock trace events carry real time alongside simulated time
 	args["sim_hours"] = simSec / 3600
 	dur := (simSec - s.simStart) * 1e6
 	if dur < 0 {

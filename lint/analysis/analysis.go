@@ -1,0 +1,89 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that unicolint's checkers are
+// written against.
+//
+// The repo rule is "no modules beyond the standard library", which rules out
+// depending on x/tools itself, so this package mirrors the shape of its API
+// (Analyzer, Pass, Diagnostic) closely enough that a checker reads exactly
+// like an upstream go/analysis analyzer and could be ported to one
+// mechanically if the dependency rule ever changes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //unicolint:allow suppression comments.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces, shown by `unicolint -list`.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer. Mirrors analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Path      string // import path of the package under analysis
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Installed by the driver; never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportNoSuppress reports a diagnostic that a //unicolint:allow comment
+// cannot silence. Used for policy violations about the suppression mechanism
+// itself (for example an allow comment inside a strict-determinism package),
+// which would otherwise be self-suppressing.
+func (p *Pass) ReportNoSuppress(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...), NoSuppress: true})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+
+	// NoSuppress marks a diagnostic immune to //unicolint:allow comments.
+	NoSuppress bool
+}
+
+// TypeOf returns the type of expression e, or nil if type information is
+// incomplete. Checkers must tolerate nil: the loader type-checks from source
+// and degrades rather than aborts on exotic build configurations.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata/src and compares its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectation syntax: a comment of the form
+//
+//	// want `regexp` `regexp` ...
+//
+// (double-quoted strings also work) attaches one or more expected
+// diagnostics to its line. Every reported diagnostic must match exactly one
+// pending expectation on its line, and every expectation must be consumed.
+// Suppression semantics are live — diagnostics silenced by a
+// //unicolint:allow comment never reach the matcher, so fixtures can prove
+// an allow works by carrying no want on the allowed line.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"unico/lint/analysis"
+	"unico/lint/driver"
+	"unico/lint/load"
+)
+
+// loaders caches one loader per overlay directory so the stdlib closure
+// (net/http alone pulls in ~100 packages) is type-checked once per test
+// binary, not once per test.
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*load.Loader{}
+)
+
+func loaderFor(overlay string) *load.Loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	l := loaders[overlay]
+	if l == nil {
+		l = load.New(".")
+		l.Overlay = overlay
+		loaders[overlay] = l
+	}
+	return l
+}
+
+// Run loads each fixture package (an import path under testdata/src) and
+// checks analyzer a against the fixtures' want comments. Packages are
+// processed in order through one driver run, so analyzers with
+// cross-package state (metricname) see them the way the real driver would.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	RunWithSuite(t, []*analysis.Analyzer{a}, pkgpaths...)
+}
+
+// RunWithSuite is Run for several analyzers sharing one pass, for fixtures
+// that exercise interactions (for example suppression of one analyzer but
+// not another).
+func RunWithSuite(t *testing.T, analyzers []*analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := loaderFor("testdata/src")
+
+	loadersMu.Lock()
+	var pkgs []*load.Package
+	for _, path := range pkgpaths {
+		pkg, err := l.LoadOverlay(path)
+		if err != nil {
+			loadersMu.Unlock()
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			loadersMu.Unlock()
+			t.Fatalf("fixture %s has type errors: %v", path, pkg.TypeErrors)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	res := driver.Run(l.Fset, pkgs, analyzers)
+	loadersMu.Unlock()
+
+	for _, err := range res.Errors {
+		t.Errorf("analyzer error: %v", err)
+	}
+
+	wants := collectWants(t, l.Fset, pkgs)
+	for _, d := range res.Diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consumeWant(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want` comments out of the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := wantPayload(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					pats, err := parsePatterns(rest)
+					if err != nil {
+						t.Fatalf("%s: bad want comment: %v", key, err)
+					}
+					for _, p := range pats {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, p, err)
+						}
+						out[key] = append(out[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// wantPayload extracts the expectation text from a comment: either the
+// whole comment is "// want ..." or a want clause is embedded after a
+// directive ("//unicolint:allow x y // want ..."), which lets a fixture
+// attach an expectation to the directive's own line.
+func wantPayload(comment string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if rest, ok := strings.CutPrefix(text, "want "); ok {
+		return rest, true
+	}
+	if i := strings.Index(comment, "// want "); i >= 0 {
+		return comment[i+len("// want "):], true
+	}
+	return "", false
+}
+
+// parsePatterns splits a want payload into its quoted or backquoted
+// patterns.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted pattern, found %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

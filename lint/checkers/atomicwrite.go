@@ -1,0 +1,92 @@
+package checkers
+
+import (
+	"go/ast"
+
+	"unico/lint/analysis"
+)
+
+// persistSegments are the packages that own durable artifacts (write-ahead
+// journals, snapshots, flight records, cache warm-start files). PR 3 made
+// their crash safety contractual: every write is tmp + fsync + rename.
+var persistSegments = []string{"checkpoint", "flightrec", "evalcache"}
+
+// NewAtomicWrite returns the durable-write analyzer. Two rules:
+//
+//  1. Everywhere: an os.Rename in a function that performs no Sync() call
+//     before it is flagged. Renaming an unsynced temp file can publish a
+//     zero-length or torn file after a crash, which is exactly what the
+//     atomic-snapshot protocol exists to prevent.
+//  2. In the persistence packages: os.WriteFile is flagged outright — it
+//     truncates in place and fsyncs nothing, so a crash mid-write corrupts
+//     the artifact. Those packages must use the tmp+fsync+rename helper.
+func NewAtomicWrite() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "atomicwrite",
+		Doc: "os.Rename must be preceded by a Sync() of the source file in the same function, and the " +
+			"persistence packages (checkpoint, flightrec, evalcache) may not use os.WriteFile at all",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		persist := anySegment(pass.Path, persistSegments)
+		for _, file := range pass.Files {
+			names := importNames(file)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkFuncAtomicWrite(pass, names, fn, persist)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkFuncAtomicWrite(pass *analysis.Pass, names map[string]string, fn *ast.FuncDecl, persist bool) {
+	// First sweep: where do Sync() calls happen in this function?
+	var syncs []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+				syncs = append(syncs, call)
+			}
+		}
+		return true
+	})
+	syncBefore := func(n ast.Node) bool {
+		for _, s := range syncs {
+			if s.Pos() < n.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgSelector(pass, names, sel)
+		if !ok || path != "os" {
+			return true
+		}
+		switch name {
+		case "Rename":
+			if !syncBefore(call) {
+				pass.Reportf(call.Pos(),
+					"os.Rename without a prior Sync() in %s: an unsynced source file can surface torn or empty after a crash", fn.Name.Name)
+			}
+		case "WriteFile":
+			if persist {
+				pass.Reportf(call.Pos(),
+					"os.WriteFile in persistence package %s truncates in place without fsync; use the tmp+fsync+rename snapshot path", pass.Path)
+			}
+		}
+		return true
+	})
+}

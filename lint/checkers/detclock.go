@@ -1,0 +1,103 @@
+package checkers
+
+import (
+	"go/ast"
+	"strings"
+
+	"unico/lint/analysis"
+	"unico/lint/suppress"
+)
+
+// wallClockFuncs are the package time selectors that observe or depend on
+// the real clock. Referencing one (called or not — assigning time.Now to a
+// variable counts) is flagged everywhere in the module: deterministic code
+// must charge cost to internal/simclock, and genuinely real-time code
+// (telemetry latencies, retry backoff, run metadata stamps) documents itself
+// with a //unicolint:allow detclock comment.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randAllowed are the math/rand (and rand/v2) selectors that do NOT touch
+// the global, unseeded source: constructors for seeded generators and the
+// type names needed to declare them.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true, "Rand": true, "Source": true, "Source64": true,
+	"Zipf": true, "PCG": true, "ChaCha8": true,
+}
+
+// strictSegments are the deterministic search packages where ONLY simclock
+// and seeded *rand.Rand are legal — a suppression comment there is itself a
+// violation, because resume identity is exactly what those packages exist
+// to guarantee.
+var strictSegments = []string{
+	"core", "mobo", "sh", "gp", "mapsearch",
+	"pareto", "robust", "checkpoint", "baselines", "simclock",
+}
+
+// NewDetClock returns the determinism analyzer.
+func NewDetClock() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detclock",
+		Doc: "forbid wall-clock reads (time.Now/Since/Sleep/timers) and the global math/rand source; " +
+			"deterministic search state must come from internal/simclock and seeded *rand.Rand " +
+			"(suppression is refused inside the strict search packages)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		strict := anySegment(pass.Path, strictSegments)
+		for _, file := range pass.Files {
+			names := importNames(file)
+			if strict {
+				reportStrictAllows(pass, file)
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := pkgSelector(pass, names, sel)
+				if !ok {
+					return true
+				}
+				switch path {
+				case "time":
+					if wallClockFuncs[name] {
+						pass.Reportf(sel.Pos(),
+							"time.%s reads the wall clock; deterministic code must use internal/simclock or an injected clock", name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !randAllowed[name] {
+						pass.Reportf(sel.Pos(),
+							"rand.%s uses the global rand source; use a seeded *rand.Rand threaded from the run seed", name)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// reportStrictAllows flags detclock suppression comments inside strict
+// packages. The diagnostics are unsuppressable — the comment being flagged
+// would otherwise silence its own report.
+func reportStrictAllows(pass *analysis.Pass, file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimLeft(strings.TrimPrefix(c.Text, "//"), " \t")
+			rest, ok := strings.CutPrefix(text, suppress.Prefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 && fields[0] == "detclock" {
+				pass.ReportNoSuppress(c.Pos(),
+					"suppression of detclock is not permitted in %s: the deterministic search packages admit only simclock and seeded *rand.Rand", pass.Path)
+			}
+		}
+	}
+}

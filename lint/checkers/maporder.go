@@ -1,0 +1,153 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unico/lint/analysis"
+)
+
+// orderSinks are method/function names whose calls are order-dependent:
+// they write bytes to an output, feed a hash or encoder, or emit a durable
+// record. Reaching one from inside a map range makes the artifact depend on
+// Go's randomized map iteration order — the classic resume-identity
+// breaker. Hash finalizers (Sum) are deliberately absent: hashes absorb
+// order through Write, which is listed, while Sum after the loop is fine.
+var orderSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "Emit": true, "Record": true,
+}
+
+// NewMapOrder returns the map-iteration-order analyzer. It flags `range`
+// over a map whose body (a) appends to a slice that is never subsequently
+// sorted in the same function, or (b) calls an order-dependent sink
+// (writers, printers, hashes, encoders, record emitters). The sanctioned
+// idiom — collect keys, sort, iterate the sorted slice — is recognized and
+// stays silent.
+func NewMapOrder() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "maporder",
+		Doc: "flag range-over-map whose body accumulates into an unsorted slice or writes/hashes/emits " +
+			"records; map iteration order is randomized, so sort keys before producing ordered output",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkFuncMapOrder(pass, fn.Body)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkFuncMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+// checkMapRangeBody inspects one map-range body for order-dependent sinks.
+// fnBody is the whole enclosing function body, used to look for a sort of
+// the accumulated slice after the range.
+func checkMapRangeBody(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(call.Args) > 0 {
+				target := rootObject(pass, call.Args[0])
+				if target != nil && sortedAfter(pass, fnBody, rng, target) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"append inside range over map accumulates in nondeterministic order; collect keys, sort, then iterate the sorted slice")
+			}
+		case *ast.SelectorExpr:
+			if orderSinks[fun.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"%s inside range over map produces nondeterministic output order; iterate sorted keys instead", fun.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// rootObject resolves the accumulated-into expression (an identifier or a
+// field selection) to its types.Object, or nil.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// sortedAfter reports whether, somewhere after the range statement in the
+// same function, target is passed (anywhere in the argument tree) to a
+// function from package sort or slices, or has a method named Sort called
+// on it. That is the sanctioned collect-sort-iterate idiom.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		isSortCall := false
+		if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+			if obj := pass.TypesInfo.Uses[id]; obj == nil {
+				isSortCall = true
+			} else if _, isPkg := obj.(*types.PkgName); isPkg {
+				isSortCall = true
+			}
+		}
+		if !isSortCall && sel.Sel.Name != "Sort" {
+			return true
+		}
+		args := call.Args
+		if !isSortCall {
+			args = append([]ast.Expr{sel.X}, call.Args...) // receiver of .Sort()
+		}
+		for _, arg := range args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == target {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,99 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"unico/lint/analysis"
+)
+
+// metricNamePattern is the telemetry naming contract from PR 1: every
+// series this repo exports is unico_-prefixed snake case, with the unit
+// suffixes Prometheus conventions expect.
+var metricNamePattern = regexp.MustCompile(`^unico_[a-z0-9_]+(_total|_seconds|_bytes)?$`)
+
+// NewMetricName returns the telemetry-registration analyzer. It inspects
+// every Counter/Gauge/Histogram registration on a telemetry.Registry and
+// enforces that the metric name is a string literal (so the full metric
+// namespace is greppable and auditable), matches metricNamePattern, and is
+// registered at exactly one call site across the whole build — two sites
+// sharing a name silently merge into one family with first-wins help text
+// and buckets.
+//
+// The returned analyzer carries the cross-package duplicate table; callers
+// must use a fresh instance per run (see All).
+func NewMetricName() *analysis.Analyzer {
+	firstSite := map[string]token.Position{}
+	a := &analysis.Analyzer{
+		Name: "metricname",
+		Doc: "telemetry metric registrations must use unico_-prefixed snake-case string literals, " +
+			"each registered at exactly one call site in the build",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isRegistryMethod(pass, sel) || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					pass.Reportf(call.Args[0].Pos(),
+						"telemetry metric name must be a string literal so the metric namespace is statically auditable")
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !metricNamePattern.MatchString(name) {
+					pass.Reportf(lit.Pos(),
+						"metric name %q does not match %s", name, metricNamePattern)
+				}
+				pos := pass.Fset.Position(lit.Pos())
+				if first, dup := firstSite[name]; dup {
+					pass.Reportf(lit.Pos(),
+						"metric %q is already registered at %s; duplicate registrations silently merge families", name, first)
+				} else {
+					firstSite[name] = pos
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isRegistryMethod reports whether sel is a Counter/Gauge/Histogram method
+// selection on a telemetry.Registry (by pointer or value). Matching is by
+// type identity — package named "telemetry", type named "Registry" — so the
+// analyzer works both against unico/internal/telemetry and against the
+// fixture telemetry package in testdata.
+func isRegistryMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "telemetry"
+}

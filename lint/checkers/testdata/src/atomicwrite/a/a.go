@@ -1,0 +1,29 @@
+// Package a exercises atomicwrite's rename rule: renaming a file that was
+// never Sync()'d in the same function can publish a torn artifact.
+package a
+
+import "os"
+
+func renameWithoutSync(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `os\.Rename without a prior Sync`
+}
+
+func renameWithSync(f *os.File, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), dst)
+}
+
+func syncAfterRenameIsStillWrong(f *os.File, dst string) error {
+	if err := os.Rename(f.Name(), dst); err != nil { // want `os\.Rename without a prior Sync`
+		return err
+	}
+	return f.Sync()
+}
+
+// WriteFile outside the persistence packages is legal (non-durable output,
+// test scaffolding and the like).
+func writeFileHereIsFine(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}

@@ -1,0 +1,9 @@
+// Package checkpoint carries a persistence-package path segment, where
+// os.WriteFile (truncate in place, no fsync) is banned outright.
+package checkpoint
+
+import "os"
+
+func snapshot(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile in persistence package`
+}

@@ -1,0 +1,46 @@
+// Package a exercises the detclock analyzer: every wall-clock read and
+// every use of the global rand source fires; simulated/seeded forms stay
+// silent; a documented allow suppresses.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()                  // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})     // want `time\.Since reads the wall clock`
+	_ = time.NewTimer(time.Second)  // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	<-time.After(time.Second)       // want `time\.After reads the wall clock`
+	_ = rand.Intn(10)               // want `rand\.Intn uses the global rand source`
+	_ = rand.Float64()              // want `rand\.Float64 uses the global rand source`
+	rand.Shuffle(0, nil)            // want `rand\.Shuffle uses the global rand source`
+}
+
+// A bare reference (no call) is still a wall-clock dependency.
+var nowFunc = time.Now // want `time\.Now reads the wall clock`
+
+func seededIsLegal(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(10)
+	_ = r.Float64()
+	var src rand.Source64
+	_ = src
+	d := 3 * time.Second // duration arithmetic does not read the clock
+	_ = d
+	_ = time.RFC3339 // neither do formatting constants
+}
+
+func documentedAllow() {
+	_ = time.Now() //unicolint:allow detclock fixture proves a documented allow silences the diagnostic
+}
+
+// shadowing: a local named time is not the time package.
+func shadowed() {
+	type clock struct{ Now func() int }
+	time := clock{Now: func() int { return 0 }}
+	_ = time.Now()
+}

@@ -1,0 +1,11 @@
+// Package core carries a strict-package path segment: inside the
+// deterministic search packages even a //unicolint:allow detclock comment
+// is a violation, and the report it triggers cannot be suppressed.
+package core
+
+import "time"
+
+func attemptToExcuse() {
+	//unicolint:allow detclock trying to excuse wall clock in a strict package // want `suppression of detclock is not permitted`
+	_ = time.Now()
+}

@@ -1,0 +1,68 @@
+// Package a exercises maporder: accumulating or writing inside a map range
+// fires unless the collect-sort-iterate idiom is completed.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside range over map`
+	}
+	return keys
+}
+
+func sortedIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortDotSortIdiom(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Float64Slice(vals))
+	return vals
+}
+
+func printsInsideRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `Println inside range over map`
+	}
+}
+
+func writesInsideRange(m map[string]int, buf interface{ WriteString(string) (int, error) }) {
+	for k := range m {
+		buf.WriteString(k) // want `WriteString inside range over map`
+	}
+}
+
+func sliceRangeIsFine(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+func orderFreeBodyIsFine(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func documentedAllow(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //unicolint:allow maporder fixture output where order genuinely does not matter
+	}
+}

@@ -1,0 +1,28 @@
+// Package a exercises metricname: names must be unico_-prefixed snake-case
+// string literals.
+package a
+
+import "telemetry"
+
+var dynamic = "unico_dynamic_total"
+
+func registrations(reg *telemetry.Registry) {
+	telemetry.DefaultRegistry.Counter("unico_good_total", "help", nil)
+	telemetry.DefaultRegistry.Gauge("unico_queue_depth", "help", nil)
+	reg.Histogram("unico_latency_seconds", "help", nil, nil)
+
+	telemetry.DefaultRegistry.Counter("bad_prefix_total", "help", nil) // want `does not match`
+	telemetry.DefaultRegistry.Counter("unico_CamelCase", "help", nil)  // want `does not match`
+	telemetry.DefaultRegistry.Gauge("unico_", "help", nil)             // want `does not match`
+	telemetry.DefaultRegistry.Counter(dynamic, "help", nil)            // want `must be a string literal`
+	reg.Counter("unico_"+"concat_total", "help", nil)                  // want `must be a string literal`
+}
+
+// Methods of the same names on other types are not registrations.
+type other struct{}
+
+func (other) Counter(name string) int { return 0 }
+
+func notARegistry(o other) {
+	_ = o.Counter("whatever")
+}

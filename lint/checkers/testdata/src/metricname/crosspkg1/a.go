@@ -1,0 +1,9 @@
+// Package crosspkg1 registers unico_cross_total first; crosspkg2 registers
+// it again and must be flagged — the duplicate table spans packages.
+package crosspkg1
+
+import "telemetry"
+
+func register() {
+	telemetry.DefaultRegistry.Counter("unico_cross_total", "help", nil)
+}

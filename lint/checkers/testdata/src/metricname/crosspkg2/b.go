@@ -1,0 +1,8 @@
+// Package crosspkg2 re-registers a metric crosspkg1 already owns.
+package crosspkg2
+
+import "telemetry"
+
+func register() {
+	telemetry.DefaultRegistry.Counter("unico_cross_total", "help", nil) // want `already registered`
+}

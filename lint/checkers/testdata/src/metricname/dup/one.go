@@ -1,0 +1,9 @@
+// Package dup deliberately registers unico_dup_total twice, in two files,
+// to prove duplicate detection spans the whole build rather than one file.
+package dup
+
+import "telemetry"
+
+func first() {
+	telemetry.DefaultRegistry.Counter("unico_dup_total", "first registration wins", nil)
+}

@@ -1,0 +1,7 @@
+package dup
+
+import "telemetry"
+
+func second() {
+	telemetry.DefaultRegistry.Counter("unico_dup_total", "duplicate", nil) // want `already registered`
+}

@@ -1,0 +1,30 @@
+// Package a exercises nodefaultclient: every http.DefaultClient ride-along
+// and timeoutless client literal fires outside the dist package.
+package a
+
+import (
+	"net/http"
+	"time"
+)
+
+func violations() {
+	_, _ = http.Get("http://example.com")    // want `http\.Get uses http\.DefaultClient`
+	_, _ = http.Post("u", "text/plain", nil) // want `http\.Post uses http\.DefaultClient`
+	_, _ = http.Head("u")                    // want `http\.Head uses http\.DefaultClient`
+	_, _ = http.PostForm("u", nil)           // want `http\.PostForm uses http\.DefaultClient`
+	_, _ = http.DefaultClient.Get("u")       // want `http\.DefaultClient has no timeout`
+	_ = &http.Client{}                       // want `http\.Client literal without Timeout`
+	_ = &http.Client{Transport: nil}         // want `http\.Client literal without Timeout`
+	_ = http.Client{CheckRedirect: nil}      // want `http\.Client literal without Timeout`
+}
+
+func fine() {
+	c := &http.Client{Timeout: 10 * time.Second}
+	_ = c
+	// Server-side types are not clients.
+	_ = &http.Server{ReadTimeout: time.Second}
+}
+
+func documentedAllow() {
+	_, _ = http.Get("http://example.com") //unicolint:allow nodefaultclient fixture proves the allow works here too
+}

@@ -1,0 +1,33 @@
+// Package telemetry is a minimal stand-in for unico/internal/telemetry.
+// The metricname analyzer matches registrations structurally — a
+// Counter/Gauge/Histogram method on a type named Registry in a package
+// named telemetry — so fixtures compile against this fake while the real
+// driver sees the real package.
+package telemetry
+
+// Labels attaches label pairs to a metric.
+type Labels map[string]string
+
+// Counter, Gauge and Histogram mirror the real metric handle types.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+// Registry mirrors the real registry's registration surface.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge { return &Gauge{} }
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	return &Histogram{}
+}
+
+// DefaultRegistry mirrors the process-wide registry.
+var DefaultRegistry = &Registry{}

@@ -1,0 +1,135 @@
+// Command unicolint is the project's static-analysis gate. It loads a Go
+// module from source (stdlib only — see unico/lint/load), runs the checkers
+// that mechanize the repo's determinism, resilience and telemetry
+// invariants, and fails with a per-diagnostic summary when any unsuppressed
+// finding remains.
+//
+// Usage:
+//
+//	unicolint [-C dir] [-verbose] [-list] [patterns ...]
+//
+// Patterns default to ./... relative to -C (default "."). Exit status is 0
+// when clean, 1 when diagnostics were found, 2 on operational errors.
+//
+// A finding at a genuinely legitimate site is silenced in the source with
+//
+//	//unicolint:allow <analyzer> <reason>
+//
+// on, or directly above, the offending line. The reason is mandatory;
+// -verbose lists every suppression in effect and every stale one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"unico/lint/analysis"
+	"unico/lint/checkers"
+	"unico/lint/driver"
+	"unico/lint/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir     = flag.String("C", ".", "directory of the module to analyze")
+		verbose = flag.Bool("verbose", false, "also list suppressed diagnostics (with reasons) and stale allows")
+		list    = flag.Bool("list", false, "list analyzers and the invariants they enforce, then exit")
+	)
+	flag.Parse()
+
+	suite := checkers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	loader := load.New(*dir)
+	pkgs, err := loader.Roots(flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unicolint: %v\n", err)
+		return 2
+	}
+	var typeErrs int
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "unicolint: type error in %s: %v\n", p.ImportPath, e)
+			typeErrs++
+		}
+	}
+	if typeErrs > 0 {
+		fmt.Fprintf(os.Stderr, "unicolint: %d type errors; analysis needs a compiling package set\n", typeErrs)
+		return 2
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+
+	res := driver.Run(loader.Fset, pkgs, suite)
+	for _, e := range res.Errors {
+		fmt.Fprintf(os.Stderr, "unicolint: %v\n", e)
+	}
+	if len(res.Errors) > 0 {
+		return 2
+	}
+
+	base, err := filepath.Abs(*dir)
+	if err != nil {
+		base = *dir
+	}
+	rel := func(path string) string {
+		if r, err := filepath.Rel(base, path); err == nil && !filepath.IsAbs(r) && r != "" && r[0] != '.' {
+			return r
+		}
+		return path
+	}
+
+	for _, d := range res.Diags {
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Position.Filename), d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+	}
+	if *verbose {
+		for _, s := range res.Suppressed {
+			fmt.Printf("%s:%d: suppressed %s: %s (allowed: %s)\n",
+				rel(s.Diag.Position.Filename), s.Diag.Position.Line, s.Diag.Analyzer, s.Diag.Message, s.Reason)
+		}
+		for _, a := range res.Unused {
+			fmt.Printf("%s:%d: stale //unicolint:allow %s (%s): suppressed nothing; remove it\n",
+				rel(a.File), a.Line, a.Analyzer, a.Reason)
+		}
+	}
+
+	summary(pkgs, suite, res)
+	if len(res.Diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func summary(pkgs []*load.Package, suite []*analysis.Analyzer, res driver.Result) {
+	perAnalyzer := map[string]int{}
+	for _, d := range res.Diags {
+		perAnalyzer[d.Analyzer]++
+	}
+	if len(res.Diags) == 0 {
+		fmt.Fprintf(os.Stderr, "unicolint: ok — %d packages, %d analyzers, %d suppressed\n",
+			len(pkgs), len(suite), len(res.Suppressed))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "unicolint: %d diagnostics in %d packages (%d suppressed):",
+		len(res.Diags), len(pkgs), len(res.Suppressed))
+	names := make([]string, 0, len(perAnalyzer))
+	for n := range perAnalyzer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, " %s=%d", n, perAnalyzer[n])
+	}
+	fmt.Fprintln(os.Stderr)
+}

@@ -1,0 +1,116 @@
+// Package driver runs a set of analyzers over loaded packages, applies
+// //unicolint:allow suppressions, and produces deterministic, sorted
+// results. Both cmd/unicolint and the analysistest harness run analyzers
+// through this package, so suppression semantics are identical in tests and
+// in CI.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"unico/lint/analysis"
+	"unico/lint/load"
+	"unico/lint/suppress"
+)
+
+// MalformedAnalyzer is the pseudo-analyzer name under which broken
+// suppression directives are reported. It cannot be suppressed.
+const MalformedAnalyzer = "unicolint"
+
+// Diag is one resolved diagnostic.
+type Diag struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// Suppressed pairs a diagnostic with the allow that silenced it.
+type Suppressed struct {
+	Diag   Diag
+	Reason string
+}
+
+// Result is the outcome of one run over one or more packages.
+type Result struct {
+	// Diags are the unsuppressed diagnostics (including malformed allow
+	// directives), sorted by position. Non-empty Diags means the build
+	// fails the lint gate.
+	Diags []Diag
+	// Suppressed are diagnostics silenced by an allow, for -verbose.
+	Suppressed []Suppressed
+	// Unused are allows that silenced nothing, for -verbose.
+	Unused []*suppress.Allow
+	// Errors are analyzer execution errors (not diagnostics).
+	Errors []error
+}
+
+// Run applies every analyzer to every package. Packages are processed in
+// the order given (callers sort by import path), analyzers in the order
+// given, so output and cross-package state (metricname's duplicate table)
+// are deterministic.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) Result {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var res Result
+	for _, pkg := range pkgs {
+		ix, malformed := suppress.BuildIndex(fset, pkg.Files, known)
+		for _, m := range malformed {
+			res.Diags = append(res.Diags, Diag{
+				Position: fset.Position(m.Pos),
+				Analyzer: MalformedAnalyzer,
+				Message:  m.Message,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Path:      pkg.ImportPath,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				diag := Diag{Position: pos, Analyzer: d.Analyzer, Message: d.Message}
+				if !d.NoSuppress {
+					if allow := ix.Match(pos.Filename, pos.Line, d.Analyzer); allow != nil {
+						res.Suppressed = append(res.Suppressed, Suppressed{Diag: diag, Reason: allow.Reason})
+						return
+					}
+				}
+				res.Diags = append(res.Diags, diag)
+			}
+			if err := a.Run(pass); err != nil {
+				res.Errors = append(res.Errors, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err))
+			}
+		}
+		res.Unused = append(res.Unused, ix.Unused()...)
+	}
+
+	sort.SliceStable(res.Diags, func(i, j int) bool { return diagLess(res.Diags[i], res.Diags[j]) })
+	sort.SliceStable(res.Suppressed, func(i, j int) bool { return diagLess(res.Suppressed[i].Diag, res.Suppressed[j].Diag) })
+	return res
+}
+
+func diagLess(a, b Diag) bool {
+	if a.Position.Filename != b.Position.Filename {
+		return a.Position.Filename < b.Position.Filename
+	}
+	if a.Position.Line != b.Position.Line {
+		return a.Position.Line < b.Position.Line
+	}
+	if a.Position.Column != b.Position.Column {
+		return a.Position.Column < b.Position.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

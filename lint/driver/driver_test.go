@@ -1,0 +1,131 @@
+package driver_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"unico/lint/analysis"
+	"unico/lint/driver"
+	"unico/lint/load"
+)
+
+// lineReporter flags every line containing the marker comment "// FLAG",
+// giving the tests a deterministic fake analyzer.
+func lineReporter(name string) *analysis.Analyzer {
+	a := &analysis.Analyzer{Name: name, Doc: "test analyzer"}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "FLAG") {
+						pass.Reportf(c.Pos(), "flagged line")
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func parsePkg(t *testing.T, src string) (*token.FileSet, *load.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, &load.Package{ImportPath: "p", Files: []*ast.File{f}}
+}
+
+func TestSuppressionFiltersAndRecordsReason(t *testing.T) {
+	fset, pkg := parsePkg(t, `package p
+
+func f() {
+	_ = 1 // FLAG
+	_ = 2 // FLAG unicolint:allow? no: separate comment below
+	//unicolint:allow fake documented reason here
+	_ = 3 // FLAG
+}
+`)
+	res := driver.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{lineReporter("fake")})
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if len(res.Diags) != 2 {
+		t.Fatalf("diags = %v, want 2 (lines 4 and 5)", res.Diags)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want 1 (line 7)", res.Suppressed)
+	}
+	if res.Suppressed[0].Reason != "documented reason here" {
+		t.Errorf("reason = %q", res.Suppressed[0].Reason)
+	}
+	if res.Diags[0].Position.Line != 4 || res.Diags[1].Position.Line != 5 {
+		t.Errorf("diag lines = %d,%d want 4,5", res.Diags[0].Position.Line, res.Diags[1].Position.Line)
+	}
+}
+
+func TestMalformedDirectiveIsADiagnostic(t *testing.T) {
+	fset, pkg := parsePkg(t, `package p
+
+//unicolint:allow fake
+func f() {}
+`)
+	res := driver.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{lineReporter("fake")})
+	if len(res.Diags) != 1 {
+		t.Fatalf("diags = %v, want the malformed-directive diagnostic", res.Diags)
+	}
+	if res.Diags[0].Analyzer != driver.MalformedAnalyzer {
+		t.Errorf("analyzer = %q, want %q", res.Diags[0].Analyzer, driver.MalformedAnalyzer)
+	}
+}
+
+func TestNoSuppressDiagnosticsSurviveAnAllow(t *testing.T) {
+	noSup := &analysis.Analyzer{Name: "fake", Doc: "unsuppressable test analyzer"}
+	noSup.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "FLAG") {
+						pass.ReportNoSuppress(c.Pos(), "cannot be silenced")
+					}
+				}
+			}
+		}
+		return nil
+	}
+	fset, pkg := parsePkg(t, `package p
+
+func f() {
+	//unicolint:allow fake an allow that must not work FLAG
+}
+`)
+	res := driver.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{noSup})
+	if len(res.Diags) != 1 || res.Diags[0].Message != "cannot be silenced" {
+		t.Fatalf("diags = %v, want the unsuppressable diagnostic", res.Diags)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("suppressed = %v, want none", res.Suppressed)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	fset, pkgB := parsePkg(t, "package b\n\nfunc g() {\n\t_ = 1 // FLAG\n}\n")
+	// Two files in one fset; "a.go" parsed second must still sort first.
+	f2, err := parser.ParseFile(fset, "a.go", "package b\n\nfunc h() {\n\t_ = 2 // FLAG\n}\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgB.Files = append(pkgB.Files, f2)
+	res := driver.Run(fset, []*load.Package{pkgB}, []*analysis.Analyzer{lineReporter("fake")})
+	if len(res.Diags) != 2 {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	if res.Diags[0].Position.Filename != "a.go" || res.Diags[1].Position.Filename != "p.go" {
+		t.Errorf("not sorted by file: %v", res.Diags)
+	}
+}

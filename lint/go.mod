@@ -1,0 +1,3 @@
+module unico/lint
+
+go 1.22

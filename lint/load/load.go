@@ -1,0 +1,259 @@
+// Package load builds type-checked syntax trees for Go packages using only
+// the standard library.
+//
+// The upstream go/analysis ecosystem leans on golang.org/x/tools/go/packages
+// to load code; unicolint cannot (the repo rule is stdlib only), so this
+// package does the same job the portable way: `go list -deps -json`
+// enumerates the package graph for the current configuration — the one
+// ground truth for build constraints and vendoring — and everything, the
+// standard library included, is then parsed and type-checked from source.
+// That keeps the loader independent of compiler export data, which modern
+// toolchains no longer ship pre-built. Loading this repository's full module
+// graph (~220 packages with the stdlib closure) takes under two seconds.
+//
+// An overlay directory maps import paths to bare source directories so that
+// analysistest fixtures under testdata/src can import fake sibling packages
+// GOPATH-style, exactly like x/tools' analysistest.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File // parsed with comments; non-test files only
+	FileNames  []string
+	Types      *types.Package
+	Info       *types.Info // populated for root and overlay packages only
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+	overlay    bool
+}
+
+// Loader loads and memoizes packages. Not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	// Overlay maps the root of a GOPATH-style source tree (testdata/src).
+	// When set, import path P resolves to Overlay/P if that directory
+	// exists, before the real module graph is consulted.
+	Overlay string
+
+	dir     string // directory go list runs in
+	metas   map[string]*listPkg
+	typed   map[string]*Package
+	listing bool // true once the module-wide `go list -deps` ran
+}
+
+// New returns a Loader that resolves non-overlay imports via the Go module
+// rooted at (or containing) dir.
+func New(dir string) *Loader {
+	return &Loader{
+		Fset:  token.NewFileSet(),
+		dir:   dir,
+		metas: map[string]*listPkg{},
+		typed: map[string]*Package{},
+	}
+}
+
+// goList runs `go list -deps -json` for patterns and merges the results into
+// the metadata table. CGO_ENABLED=0 keeps every package loadable from pure
+// Go source; GOWORK=off pins resolution to the module itself.
+func (l *Loader) goList(patterns ...string) error {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=Dir,ImportPath,Name,GoFiles,Imports,ImportMap,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, ok := l.metas[p.ImportPath]; !ok {
+			cp := p
+			l.metas[p.ImportPath] = &cp
+		}
+	}
+	return nil
+}
+
+// Roots loads the packages matched by patterns (default "./...") in the
+// module under the loader's directory, returning them sorted by import path.
+// Their full dependency closure is loaded and type-checked as a side effect.
+func (l *Loader) Roots(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	l.listing = true
+	var roots []string
+	for path, m := range l.metas {
+		if !m.DepOnly && m.Name != "" {
+			roots = append(roots, path)
+		}
+	}
+	sort.Strings(roots)
+	var out []*Package
+	for _, path := range roots {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %v", path, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadOverlay loads one overlay package (an analysistest fixture) by import
+// path, with full type information.
+func (l *Loader) LoadOverlay(path string) (*Package, error) {
+	return l.load(path)
+}
+
+// ensureMeta makes the metadata for import path available, consulting the
+// overlay first and lazily go-listing real packages (the analysistest path,
+// where no module-wide listing ran).
+func (l *Loader) ensureMeta(path string) (*listPkg, error) {
+	if m, ok := l.metas[path]; ok {
+		return m, nil
+	}
+	if l.Overlay != "" {
+		dir := filepath.Join(l.Overlay, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			m := &listPkg{Dir: dir, ImportPath: path, overlay: true}
+			for _, e := range ents {
+				name := e.Name()
+				if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+					m.GoFiles = append(m.GoFiles, name)
+				}
+			}
+			if len(m.GoFiles) == 0 {
+				return nil, fmt.Errorf("overlay package %s has no Go files", path)
+			}
+			l.metas[path] = m
+			return m, nil
+		}
+	}
+	if l.listing {
+		return nil, fmt.Errorf("package %q not in the module graph", path)
+	}
+	if err := l.goList(path); err != nil {
+		return nil, err
+	}
+	if m, ok := l.metas[path]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("package %q not found", path)
+}
+
+// load parses and type-checks one package, memoized. Full types.Info is
+// built for the packages that can be analyzed — module roots and overlay
+// fixtures — and skipped for bare dependencies. The decision is made on
+// first load from the package metadata: a package must never be
+// type-checked twice, or its types lose identity with the instances its
+// earlier importers captured.
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{ImportPath: path, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.typed[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	m, err := l.ensureMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	withInfo := m.overlay || !m.DepOnly
+	l.typed[path] = nil // cycle guard
+	pkg := &Package{ImportPath: path, Dir: m.Dir}
+	for _, name := range m.GoFiles {
+		full := filepath.Join(m.Dir, name)
+		af, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.typed, path)
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, af)
+		pkg.FileNames = append(pkg.FileNames, full)
+	}
+	imp := importerFunc(func(ip string) (*types.Package, error) {
+		if real, ok := m.ImportMap[ip]; ok {
+			ip = real // vendored stdlib deps (e.g. net/http's http2)
+		}
+		dep, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		return dep.Types, nil
+	})
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	if withInfo {
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	// Check returns an error when TypeErrors is non-empty; the partial
+	// package is still usable, so errors are reported, not fatal.
+	pkg.Types, _ = conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	l.typed[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,65 @@
+package load_test
+
+import (
+	"go/types"
+	"testing"
+
+	"unico/lint/load"
+)
+
+// Loading this module's own analysis package exercises the whole pipeline:
+// go list metadata, recursive source type-checking of the stdlib closure,
+// and Info construction for roots.
+func TestRootsLoadsWithFullTypeInfo(t *testing.T) {
+	l := load.New("..")
+	pkgs, err := l.Roots("./analysis")
+	if err != nil {
+		t.Fatalf("Roots: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages = %d, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "unico/lint/analysis" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Errorf("type errors: %v", p.TypeErrors)
+	}
+	if p.Info == nil || p.Types == nil {
+		t.Fatal("root package loaded without type info")
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	// Type identity must hold across the load: the go/token package the
+	// root imports is the same *types.Package instance everywhere.
+	var tokenPkg *types.Package
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == "go/token" {
+			tokenPkg = imp
+		}
+	}
+	if tokenPkg == nil {
+		t.Fatal("go/token not among imports")
+	}
+	again, err := l.Roots("./analysis")
+	if err != nil {
+		t.Fatalf("second Roots: %v", err)
+	}
+	if again[0].Types != p.Types {
+		t.Error("reloading re-type-checked the package; identity lost")
+	}
+}
+
+func TestOverlayShadowsNothingOutsideItsTree(t *testing.T) {
+	l := load.New("..")
+	l.Overlay = "no-such-dir"
+	pkgs, err := l.Roots("./suppress")
+	if err != nil {
+		t.Fatalf("Roots with dangling overlay: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].TypeErrors) != 0 {
+		t.Fatalf("unexpected result: %+v", pkgs)
+	}
+}

@@ -1,0 +1,166 @@
+// Package suppress parses and applies unicolint's suppression directive:
+//
+//	//unicolint:allow <analyzer> <reason>
+//
+// An allow comment silences diagnostics of the named analyzer on the
+// comment's own line and on the line directly below it (so both trailing
+// comments and comment-above style work). The reason is mandatory — an
+// allow without one is itself reported — and is surfaced by
+// `unicolint -verbose` so every escape hatch stays documented.
+package suppress
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Prefix is the directive marker. Like other Go tool directives
+// (go:generate, lint:ignore) it is written with no space after "//".
+const Prefix = "unicolint:allow"
+
+// Allow is one parsed, well-formed suppression comment.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos // position of the comment
+	File     string
+	Line     int  // line the comment sits on
+	Used     bool // set once a diagnostic was suppressed by this allow
+}
+
+// Malformed is a directive that failed to parse: a missing analyzer name, a
+// missing reason, or an analyzer unicolint does not know about.
+type Malformed struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Index holds every allow in a set of files, keyed for O(1) lookup by
+// (file, line, analyzer).
+type Index struct {
+	byKey  map[string]*Allow
+	allows []*Allow
+}
+
+func key(file string, line int, analyzer string) string {
+	return file + "\x00" + analyzer + "\x00" + itoa(line)
+}
+
+func itoa(n int) string {
+	// strconv-free tiny itoa keeps the hot key path allocation-cheap.
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// BuildIndex scans the comments of files for allow directives. known is the
+// set of valid analyzer names; a directive naming anything else is returned
+// as malformed rather than silently ignored, so typos cannot disable
+// enforcement.
+func BuildIndex(fset *token.FileSet, files []*ast.File, known map[string]bool) (*Index, []Malformed) {
+	ix := &Index{byKey: map[string]*Allow{}}
+	var bad []Malformed
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Malformed{c.Pos(),
+						"malformed //unicolint:allow: missing analyzer name and reason"})
+				case len(fields) == 1:
+					bad = append(bad, Malformed{c.Pos(),
+						"malformed //unicolint:allow " + fields[0] + ": a reason is mandatory"})
+				case !known[fields[0]]:
+					bad = append(bad, Malformed{c.Pos(),
+						"//unicolint:allow names unknown analyzer " + quote(fields[0])})
+				default:
+					a := &Allow{
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						Pos:      c.Pos(),
+						File:     pos.Filename,
+						Line:     pos.Line,
+					}
+					ix.allows = append(ix.allows, a)
+					// The allow covers its own line and the next one.
+					ix.byKey[key(a.File, a.Line, a.Analyzer)] = a
+					ix.byKey[key(a.File, a.Line+1, a.Analyzer)] = a
+				}
+			}
+		}
+	}
+	return ix, bad
+}
+
+// directiveText returns the payload after the allow prefix, reporting
+// whether the comment is an allow directive at all. Both the canonical
+// "//unicolint:allow ..." and the spaced "// unicolint:allow ..." forms are
+// accepted, so a gofmt-rewritten comment keeps working.
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // block comments cannot carry directives
+	}
+	body = strings.TrimLeft(body, " \t")
+	rest, ok := strings.CutPrefix(body, Prefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. "unicolint:allowance" is not the directive
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// Match returns the allow covering a diagnostic of analyzer at position
+// (already resolved to file and line), or nil. A hit marks the allow used.
+func (ix *Index) Match(file string, line int, analyzer string) *Allow {
+	a := ix.byKey[key(file, line, analyzer)]
+	if a != nil {
+		a.Used = true
+	}
+	return a
+}
+
+// Allows returns every well-formed allow in the index, ordered by position.
+func (ix *Index) Allows() []*Allow {
+	out := append([]*Allow(nil), ix.allows...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// Unused returns the allows that never suppressed anything, ordered by
+// position. These are surfaced by -verbose: a stale allow usually means the
+// violation it excused was since fixed and the comment should go.
+func (ix *Index) Unused() []*Allow {
+	var out []*Allow
+	for _, a := range ix.Allows() {
+		if !a.Used {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package suppress_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"unico/lint/suppress"
+)
+
+var known = map[string]bool{"detclock": true, "maporder": true}
+
+func build(t *testing.T, src string) (*token.FileSet, *suppress.Index, []suppress.Malformed) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ix, bad := suppress.BuildIndex(fset, []*ast.File{f}, known)
+	return fset, ix, bad
+}
+
+func TestWellFormedAllowCoversItsLineAndTheNext(t *testing.T) {
+	_, ix, bad := build(t, `package p
+
+func f() {
+	//unicolint:allow detclock latency metric is wall time
+	_ = 1 // line 5
+	_ = 2 // line 6
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	if a := ix.Match("fix.go", 4, "detclock"); a == nil {
+		t.Error("allow does not cover its own line")
+	}
+	if a := ix.Match("fix.go", 5, "detclock"); a == nil {
+		t.Error("allow does not cover the next line")
+	} else if a.Reason != "latency metric is wall time" {
+		t.Errorf("reason = %q", a.Reason)
+	}
+	if a := ix.Match("fix.go", 6, "detclock"); a != nil {
+		t.Error("allow must not cover two lines below")
+	}
+	if a := ix.Match("fix.go", 5, "maporder"); a != nil {
+		t.Error("allow must not cover a different analyzer")
+	}
+}
+
+func TestSpacedFormAndTrailingPlacement(t *testing.T) {
+	_, ix, bad := build(t, `package p
+
+func f() {
+	x := 1 // unicolint:allow maporder gofmt-spaced form still parses
+	_ = x
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	if ix.Match("fix.go", 4, "maporder") == nil {
+		t.Error("trailing spaced-form allow not matched on its own line")
+	}
+}
+
+func TestMissingReasonIsMalformed(t *testing.T) {
+	_, ix, bad := build(t, `package p
+
+//unicolint:allow detclock
+func f() {}
+`)
+	if len(ix.Allows()) != 0 {
+		t.Errorf("malformed allow must not be indexed: %v", ix.Allows())
+	}
+	if len(bad) != 1 {
+		t.Fatalf("malformed = %d, want 1", len(bad))
+	}
+	if got := bad[0].Message; got != "malformed //unicolint:allow detclock: a reason is mandatory" {
+		t.Errorf("message = %q", got)
+	}
+}
+
+func TestMissingEverythingIsMalformed(t *testing.T) {
+	_, _, bad := build(t, "package p\n\n//unicolint:allow\nfunc f() {}\n")
+	if len(bad) != 1 || bad[0].Message != "malformed //unicolint:allow: missing analyzer name and reason" {
+		t.Fatalf("bad = %v", bad)
+	}
+}
+
+func TestUnknownAnalyzerIsMalformed(t *testing.T) {
+	_, _, bad := build(t, "package p\n\n//unicolint:allow detclok typo in the analyzer name\nfunc f() {}\n")
+	if len(bad) != 1 {
+		t.Fatalf("malformed = %d, want 1", len(bad))
+	}
+	if want := `//unicolint:allow names unknown analyzer "detclok"`; bad[0].Message != want {
+		t.Errorf("message = %q, want %q", bad[0].Message, want)
+	}
+}
+
+func TestNonDirectiveCommentsIgnored(t *testing.T) {
+	_, ix, bad := build(t, `package p
+
+// unicolint:allowance is not the directive
+// a comment mentioning unicolint:allow mid-sentence is ignored too? No:
+// only comments *starting* with the marker parse. The next line does not.
+// nothing to see: unicolint:allow detclock whatever
+func f() {}
+`)
+	if len(bad) != 0 || len(ix.Allows()) != 0 {
+		t.Errorf("non-directives parsed: allows=%v bad=%v", ix.Allows(), bad)
+	}
+}
+
+func TestUsedAndUnusedTracking(t *testing.T) {
+	_, ix, _ := build(t, `package p
+
+func f() {
+	//unicolint:allow detclock this one will be used
+	_ = 1
+	//unicolint:allow maporder this one is stale
+	_ = 2
+}
+`)
+	if ix.Match("fix.go", 5, "detclock") == nil {
+		t.Fatal("expected match")
+	}
+	unused := ix.Unused()
+	if len(unused) != 1 || unused[0].Analyzer != "maporder" {
+		t.Fatalf("unused = %+v, want the single stale maporder allow", unused)
+	}
+	if got := len(ix.Allows()); got != 2 {
+		t.Errorf("Allows() = %d, want 2", got)
+	}
+}

@@ -447,7 +447,7 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 	applyFlight := func(opt *core.Options) error {
 		hdr := flightrec.Header{
 			RunID:       runID,
-			StartedAt:   time.Now().UTC().Format(time.RFC3339),
+			StartedAt:   time.Now().UTC().Format(time.RFC3339), //unicolint:allow detclock wall-clock run metadata in the flight header; excluded from resume identity
 			Method:      cfg.Method.String(),
 			Workload:    workloadName(p.inner),
 			Seed:        cfg.Seed,
