@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: build test lint lint-verbose lint-test fmt tidy check
+.PHONY: build test bench bench-gate lint lint-verbose lint-test fmt tidy check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+## bench records the canonical benchmarks (internal/benchmarks) into a
+## BENCH_<rev>.json trajectory point; bench-gate replays the pinned CI
+## subset and diffs it against the committed baseline.
+bench:
+	$(GO) run ./cmd/unicobench
+
+bench-gate:
+	$(GO) run ./cmd/unicobench -run '^(GPFitPredict|MappingSearchUnit|EndToEndMicro)$$' \
+		-benchtime 1x -out BENCH_ci.json
+	$(GO) run ./cmd/unicobench -diff -tol 3 BENCH_baseline.json BENCH_ci.json
 
 ## lint runs unicolint (the in-repo analysis suite under lint/) over the
 ## whole root module. The lint module is nested so the root module stays

@@ -12,12 +12,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"unico/internal/benchmarks"
 	"unico/internal/experiments"
-	"unico/internal/gp"
 	"unico/internal/hw"
 	"unico/internal/maestro"
 	"unico/internal/mapping"
-	"unico/internal/mapsearch"
 	"unico/internal/pareto"
 	"unico/internal/workload"
 
@@ -146,41 +145,24 @@ func BenchmarkCAModelEvaluate(b *testing.B) {
 }
 
 // BenchmarkMappingSearchUnit measures one network-level budget unit of the
-// FlexTensor-like search on MobileNet.
+// FlexTensor-like search on MobileNet. The body lives in
+// internal/benchmarks so cmd/unicobench runs the identical workload.
 func BenchmarkMappingSearchUnit(b *testing.B) {
-	eng := maestro.Engine{}
-	cfg := hw.Spatial{PEX: 8, PEY: 8, L1Bytes: 1728, L2KB: 432, NoCBW: 128,
-		Dataflow: hw.OutputStationary}
-	ns := mapsearch.NewSpatialSearcher(eng, cfg, workload.MobileNet(), mapsearch.FlexTensorLike, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ns.Advance(1)
-	}
+	benchmarks.MappingSearchUnit(b)
 }
 
 // BenchmarkGPFitPredict measures surrogate refitting plus a prediction at
-// the training sizes MOBO reaches.
+// the training sizes MOBO reaches. The body lives in internal/benchmarks
+// so cmd/unicobench runs the identical workload.
 func BenchmarkGPFitPredict(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	n, d := 120, 6
-	xs := make([][]float64, n)
-	ys := make([]float64, n)
-	for i := range xs {
-		x := make([]float64, d)
-		for j := range x {
-			x[j] = rng.Float64()
-		}
-		xs[i] = x
-		ys[i] = rng.NormFloat64()
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g, err := gp.FitAuto(xs, ys)
-		if err != nil {
-			b.Fatal(err)
-		}
-		g.Predict(xs[0])
-	}
+	benchmarks.GPFitPredict(b)
+}
+
+// BenchmarkEndToEndMicro runs the Table-1-style micro co-search of
+// internal/benchmarks end to end — the bench whose phase breakdown
+// cmd/unicobench records in BENCH_*.json.
+func BenchmarkEndToEndMicro(b *testing.B) {
+	benchmarks.EndToEndMicro(b)
 }
 
 // BenchmarkHypervolume3D measures the exact WFG hypervolume on a

@@ -24,11 +24,13 @@ import (
 	"syscall"
 	"time"
 
+	"unico/internal/buildinfo"
 	"unico/internal/evalcache"
 	"unico/internal/experiments"
 	"unico/internal/flightrec"
 	"unico/internal/hw"
 	"unico/internal/logx"
+	"unico/internal/perfprof"
 	"unico/internal/runid"
 	"unico/internal/telemetry"
 )
@@ -48,6 +50,8 @@ func main() {
 	flightDir := flag.String("flight-record", "", "write one flight-record artifact per co-search run (<run>.run.jsonl) into this directory; view with unicoreport")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	pprofDir := flag.String("pprof-dir", "", "write run-ID-stamped pprof CPU/heap profiles to this directory (enables GET /debug/unico/capture when -metrics-addr is set)")
+	pprofInterval := flag.Duration("pprof-interval", 0, "capture a heap and CPU profile every interval for the sweep's duration (requires -pprof-dir)")
 	flag.Parse()
 
 	logger, err := logx.Setup(*logFormat, *logLevel)
@@ -57,16 +61,39 @@ func main() {
 	}
 	// One sweep = one correlation ID across all its runs and dist requests.
 	runid.Set(runid.New())
+	buildinfo.Publish()
 
 	// SIGINT/SIGTERM cancel in-flight co-searches; with -checkpoint-dir set,
 	// each interrupted run leaves a resumable checkpoint behind.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	if *pprofInterval > 0 && *pprofDir == "" {
+		logger.Error("-pprof-interval requires -pprof-dir")
+		os.Exit(1)
+	}
+	var capture *perfprof.Capture
+	if *pprofDir != "" {
+		capture, err = perfprof.NewCapture(*pprofDir)
+		if err != nil {
+			logger.Error("pprof capture setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		if *pprofInterval > 0 {
+			go capture.Every(ctx, *pprofInterval, func(err error) {
+				logger.Warn("interval pprof capture failed", slog.Any("err", err))
+			})
+		}
+	}
+
 	if *metricsAddr != "" {
 		flightrec.SetLive(flightrec.NewLive())
 		debug := telemetry.NewDebugServer(*metricsAddr, nil)
 		debug.Mux().Handle("GET /debug/unico", flightrec.DashboardHandler(flightrec.ActiveLive()))
+		debug.Mux().Handle("GET /debug/unico/phases", perfprof.PhasesHandler())
+		if capture != nil {
+			debug.Mux().Handle("GET /debug/unico/capture", capture.Handler())
+		}
 		debug.Start(func(err error) {
 			logger.Error("metrics server failed", slog.Any("err", err))
 		})

@@ -16,6 +16,8 @@
 //	GET    /metrics          Prometheus text-format metrics
 //	GET    /debug/vars       expvar JSON
 //	GET    /debug/pprof/     runtime profiles
+//	GET    /debug/unico/phases   phase-attribution breakdown (text or ?format=json)
+//	GET    /debug/unico/capture  write a pprof profile to -pprof-dir (?profile=cpu|heap)
 //
 // Every request is access-logged with the originating client's run ID (the
 // X-Unico-Run-ID header internal/dist clients attach), so a worker log line
@@ -35,11 +37,13 @@ import (
 	"syscall"
 	"time"
 
+	"unico/internal/buildinfo"
 	"unico/internal/camodel"
 	"unico/internal/dist"
 	"unico/internal/evalcache"
 	"unico/internal/logx"
 	"unico/internal/maestro"
+	"unico/internal/perfprof"
 	"unico/internal/telemetry"
 )
 
@@ -57,12 +61,28 @@ func main() {
 		"also save -cache-file periodically at this interval (atomic tmp+rename; 0 = only on shutdown), so a crash loses at most one interval of cache entries")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	pprofDir := flag.String("pprof-dir", "", "write run-ID-stamped pprof CPU/heap profiles to this directory (enables GET /debug/unico/capture)")
+	pprofInterval := flag.Duration("pprof-interval", 0, "capture a heap and CPU profile every interval while serving (requires -pprof-dir)")
 	flag.Parse()
 
 	logger, err := logx.Setup(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppaserver:", err)
 		os.Exit(1)
+	}
+	buildinfo.Publish()
+
+	if *pprofInterval > 0 && *pprofDir == "" {
+		logger.Error("-pprof-interval requires -pprof-dir")
+		os.Exit(1)
+	}
+	var capture *perfprof.Capture
+	if *pprofDir != "" {
+		capture, err = perfprof.NewCapture(*pprofDir)
+		if err != nil {
+			logger.Error("pprof capture setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
 	}
 
 	server := dist.NewServer()
@@ -88,6 +108,10 @@ func main() {
 	debug := telemetry.DebugMux(telemetry.DefaultRegistry)
 	mux.Handle("GET /metrics", debug)
 	mux.Handle("GET /debug/", debug)
+	mux.Handle("GET /debug/unico/phases", perfprof.PhasesHandler())
+	if capture != nil {
+		mux.Handle("GET /debug/unico/capture", capture.Handler())
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -98,6 +122,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if capture != nil && *pprofInterval > 0 {
+		go capture.Every(ctx, *pprofInterval, func(err error) {
+			logger.Warn("interval pprof capture failed", slog.Any("err", err))
+		})
+	}
 
 	if cache != nil && *cacheFile != "" && *checkpointEvery > 0 {
 		go func() {

@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"unico"
+	"unico/internal/buildinfo"
 	"unico/internal/flightrec"
 	"unico/internal/logx"
+	"unico/internal/perfprof"
 	"unico/internal/runid"
 	"unico/internal/telemetry"
 )
@@ -50,6 +52,9 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log output format: text | json")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 
+		pprofDir      = flag.String("pprof-dir", "", "write run-ID-stamped pprof CPU/heap profiles to this directory (enables GET /debug/unico/capture when -metrics-addr is set)")
+		pprofInterval = flag.Duration("pprof-interval", 0, "capture a heap and CPU profile every interval for the run's duration (requires -pprof-dir)")
+
 		checkpointFile  = flag.String("checkpoint", "", "crash-safe checkpoint file: journal every iteration, snapshot periodically, final state on SIGINT/SIGTERM")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "snapshot cadence in iterations (0 = default 10)")
 		resume          = flag.Bool("resume", false, "continue from the -checkpoint file if it exists (fresh start otherwise)")
@@ -74,12 +79,30 @@ func main() {
 	// log record — and every dist request and the flight-record header —
 	// carries it from the first line.
 	runid.Set(runid.New())
+	buildinfo.Publish()
+
+	if *pprofInterval > 0 && *pprofDir == "" {
+		logger.Error("-pprof-interval requires -pprof-dir")
+		os.Exit(1)
+	}
+	var capture *perfprof.Capture
+	if *pprofDir != "" {
+		capture, err = perfprof.NewCapture(*pprofDir)
+		if err != nil {
+			logger.Error("pprof capture setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+	}
 
 	var debug *telemetry.DebugServer
 	if *metricsAddr != "" {
 		flightrec.SetLive(flightrec.NewLive())
 		debug = telemetry.NewDebugServer(*metricsAddr, nil)
 		debug.Mux().Handle("GET /debug/unico", flightrec.DashboardHandler(flightrec.ActiveLive()))
+		debug.Mux().Handle("GET /debug/unico/phases", perfprof.PhasesHandler())
+		if capture != nil {
+			debug.Mux().Handle("GET /debug/unico/capture", capture.Handler())
+		}
 		debug.Start(func(err error) {
 			logger.Error("metrics server failed", slog.Any("err", err))
 		})
@@ -202,6 +225,12 @@ func main() {
 	// signal handling).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if capture != nil && *pprofInterval > 0 {
+		go capture.Every(ctx, *pprofInterval, func(err error) {
+			logger.Warn("interval pprof capture failed", slog.Any("err", err))
+		})
+	}
 
 	logger.Info("starting co-search",
 		slog.String("method", m.String()), slog.String("networks", *networks),

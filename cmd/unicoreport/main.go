@@ -14,7 +14,12 @@
 // evaluation-cost movement. The exit status is non-zero when the
 // candidate's final hypervolume falls short of the baseline's by more than
 // -hv-tol (relative), which makes the command usable as a CI regression
-// gate. Empty or malformed artifacts always fail.
+// gate.
+//
+// Exit codes: 0 success, 1 hypervolume regression (or a report write
+// failure), 2 malformed input — unreadable artifact, bad header, zero
+// iteration records, or bad usage. Gating scripts can therefore tell "the
+// run got worse" (1) apart from "the artifact is unusable" (2).
 package main
 
 import (
@@ -70,19 +75,20 @@ func main() {
 
 // load reads one artifact and enforces the gate's input contract: a
 // malformed file (bad or missing header) or one with zero recorded
-// iterations is an error, and skipped torn lines are reported.
+// iterations exits 2 (unusable input, distinct from a regression's exit 1),
+// and skipped torn lines are reported.
 func load(path string) *flightrec.RunData {
 	d, skipped, err := flightrec.Load(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unicoreport: %s: %v\n", path, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	if skipped > 0 {
 		fmt.Fprintf(os.Stderr, "unicoreport: %s: skipped %d malformed line(s)\n", path, skipped)
 	}
 	if len(d.Iters) == 0 {
 		fmt.Fprintf(os.Stderr, "unicoreport: %s: no iteration records\n", path)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	return d
 }

@@ -148,6 +148,24 @@ func TestFlightRecordKillResumeIdentical(t *testing.T) {
 	if !reflect.DeepEqual(want.Summary, got.Summary) {
 		t.Errorf("summary diverged after kill/resume:\nwant %+v\ngot  %+v", want.Summary, got.Summary)
 	}
+
+	// The phase trees specifically — per-iteration perfprof deltas are part
+	// of Iters, but assert the aggregate simulated-clock totals explicitly so
+	// a regression here names the phase that drifted rather than dumping two
+	// full artifacts.
+	wantPhases := flightrec.AggregatePhases(want.Iters)
+	gotPhases := flightrec.AggregatePhases(got.Iters)
+	if len(wantPhases) == 0 {
+		t.Fatal("uninterrupted run recorded no phase deltas")
+	}
+	if !reflect.DeepEqual(wantPhases, gotPhases) {
+		t.Errorf("phase trees diverged after kill/resume:\nwant %+v\ngot  %+v", wantPhases, gotPhases)
+	}
+	for _, a := range wantPhases {
+		if a.Path == "iteration" && a.SimSeconds <= 0 {
+			t.Errorf("iteration phase has non-positive sim time: %+v", a)
+		}
+	}
 }
 
 // TestFlightRecordCacheCounters: with the evaluation cache on, the durable

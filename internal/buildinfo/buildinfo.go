@@ -1,0 +1,57 @@
+// Package buildinfo resolves the build's identity — Go toolchain version
+// and VCS revision — once, from the binary's embedded build metadata, and
+// publishes it as the unico_build_info gauge. The same revision string is
+// stamped into flight-record headers and cmd/unicobench environment
+// blocks, so a dashboard series, a flight record, and a bench baseline
+// can all be traced to the same commit.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"unico/internal/telemetry"
+)
+
+var (
+	revOnce sync.Once
+	rev     string
+
+	pubOnce sync.Once
+)
+
+// Revision returns the VCS revision the binary was built from, shortened
+// to 12 hex characters, or "unknown" when the binary carries no VCS stamp
+// (go test binaries, builds outside a checkout).
+func Revision() string {
+	revOnce.Do(func() {
+		rev = "unknown"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				if len(s.Value) > 12 {
+					rev = s.Value[:12]
+				} else {
+					rev = s.Value
+				}
+				return
+			}
+		}
+	})
+	return rev
+}
+
+// GoVersion returns the running toolchain version (e.g. "go1.22.1").
+func GoVersion() string { return runtime.Version() }
+
+// Publish sets the unico_build_info gauge to 1 with the build's identity
+// as labels. Idempotent; every daemoned cmd calls it at startup.
+func Publish() {
+	pubOnce.Do(func() {
+		telemetry.BuildInfo(GoVersion(), Revision()).Set(1)
+	})
+}

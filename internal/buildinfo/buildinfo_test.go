@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRevisionNonEmptyAndStable(t *testing.T) {
+	r1, r2 := Revision(), Revision()
+	if r1 == "" {
+		t.Fatal("Revision() is empty")
+	}
+	if r1 != r2 {
+		t.Fatalf("Revision() not stable: %q then %q", r1, r2)
+	}
+	if len(r1) > 12 {
+		t.Errorf("Revision() = %q, want at most 12 chars", r1)
+	}
+}
+
+func TestGoVersion(t *testing.T) {
+	if v := GoVersion(); !strings.HasPrefix(v, "go") {
+		t.Errorf("GoVersion() = %q, want go-prefixed", v)
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	Publish()
+	Publish() // second call must not panic on duplicate registration
+}

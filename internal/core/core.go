@@ -22,6 +22,7 @@ import (
 	"unico/internal/mapsearch"
 	"unico/internal/mobo"
 	"unico/internal/pareto"
+	"unico/internal/perfprof"
 	"unico/internal/ppa"
 	"unico/internal/robust"
 	"unico/internal/sh"
@@ -323,6 +324,12 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		shCfg.PFrac = 0
 	}
 
+	// Phase attribution: per-iteration window deltas from the active
+	// profiler. The window is drained at each loop top, so resume-replay and
+	// inter-iteration work never leak into a recorded iteration's phase tree
+	// — which is what keeps flight records bit-identical across kill/resume.
+	prof := perfprof.Active()
+
 	for iter := lastIter + 1; iter <= opt.MaxIter; iter++ {
 		if ctx.Err() != nil {
 			break
@@ -330,11 +337,16 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		if opt.TimeBudgetHours > 0 && opt.Clock.Hours() >= opt.TimeBudgetHours {
 			break
 		}
+		prof.TakeWindow() // discard activity since the previous iteration
+		pctx, phaseIter := prof.StartClocked(ctx, "iteration", opt.Clock)
 		iterSpan := tr.StartSpan("mobo_iteration", "core", 0, opt.Clock.Seconds())
 		suggestSpan := tr.StartSpan("suggest_batch", "mobo", 0, opt.Clock.Seconds())
+		_, phaseSuggest := prof.StartClocked(pctx, "suggest", opt.Clock)
 		xs := explorer.SuggestBatch(opt.BatchSize)
+		phaseSuggest.End()
 		suggestSpan.End(opt.Clock.Seconds(), map[string]any{"batch": len(xs)})
 		if len(xs) == 0 {
+			phaseIter.End()
 			iterSpan.End(opt.Clock.Seconds(), map[string]any{"iter": iter, "exhausted": true})
 			break
 		}
@@ -345,15 +357,18 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 
 		var outcome sh.Outcome
 		if opt.DisableSH {
+			_, phaseFull := prof.StartClocked(pctx, "sh.full_budget", opt.Clock)
 			outcome = runFullBudget(jobs, shCfg)
+			phaseFull.End()
 		} else {
-			outcome = sh.Run(ctx, jobs, shCfg)
+			outcome = sh.Run(pctx, jobs, shCfg)
 		}
 		if ctx.Err() != nil {
 			// The batch was interrupted mid-search: its evaluations are
 			// incomplete and must not enter the result, the surrogate or
 			// the checkpoint. Discard it; resume re-runs the iteration.
 			closeJobs(jobs)
+			phaseIter.End()
 			iterSpan.End(opt.Clock.Seconds(), map[string]any{"iter": iter, "canceled": true})
 			break
 		}
@@ -381,10 +396,12 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		}
 		closeJobs(jobs)
 		fitSpan := tr.StartSpan("gp_fit", "mobo", 0, opt.Clock.Seconds())
+		_, phaseUpdate := prof.StartClocked(pctx, "update", opt.Clock)
 		admitted := explorer.Update(obs)
 		// Surrogate refit overhead on the master (paper Fig. 6b): seconds,
 		// negligible next to PPA evaluation but accounted for.
 		opt.Clock.Advance(5)
+		phaseUpdate.End()
 		fitSpan.End(opt.Clock.Seconds(), map[string]any{
 			"admitted": admitted, "train": explorer.TrainSize(),
 		})
@@ -398,8 +415,11 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		telemetry.MOBOIterations().Inc()
 
 		hvSpan := tr.StartSpan("hypervolume", "core", 0, opt.Clock.Seconds())
+		_, phaseHV := prof.Start(pctx, "hypervolume")
 		hv := runningHypervolume(res.Front)
+		phaseHV.End()
 		hvSpan.End(opt.Clock.Seconds(), map[string]any{"hv": hv, "front": len(res.Front)})
+		phaseIter.End()
 
 		// Flight record at the completed-iteration boundary, durably written
 		// BEFORE the checkpoint journal entry: at any crash the artifact then
@@ -417,6 +437,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			Best:          bestObjectives(res.Front),
 			Front:         frontPPA(res.Front),
 			RungAlive:     outcome.RungAlive,
+			Phases:        prof.TakeWindow(),
 		}
 		if opt.Flight != nil {
 			opt.Flight.RecordIteration(flightIt)

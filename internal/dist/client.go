@@ -13,6 +13,7 @@ import (
 	"unico/internal/camodel"
 	"unico/internal/evalcache"
 	"unico/internal/maestro"
+	"unico/internal/perfprof"
 	"unico/internal/ppa"
 	"unico/internal/runid"
 	"unico/internal/telemetry"
@@ -111,6 +112,8 @@ func retryable(err error) error { return &retryableError{err: err} }
 // inspects, so they decode normally and are never retried. The request is
 // bound to ctx, so cancellation aborts an in-flight round trip promptly.
 func (c *Client) do(ctx context.Context, path string, body []byte, resp any) error {
+	_, span := perfprof.Start(ctx, "dist.transport")
+	defer span.End()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("dist: build request %s: %w", path, err)
@@ -142,7 +145,9 @@ func (c *Client) do(ctx context.Context, path string, body []byte, resp any) err
 // post sends req as JSON and decodes the response into resp, without
 // retrying — the route may not be idempotent.
 func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	_, ser := perfprof.Start(ctx, "dist.serialize")
 	body, err := json.Marshal(req)
+	ser.End()
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", path, err)
 	}
@@ -154,7 +159,9 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 // not hammer a recovering worker in lockstep. Cancelling ctx aborts both
 // in-flight requests and backoff sleeps.
 func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any) error {
+	_, ser := perfprof.Start(ctx, "dist.serialize")
 	body, err := json.Marshal(req)
+	ser.End()
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", path, err)
 	}
@@ -166,14 +173,17 @@ func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any)
 			return err
 		}
 		telemetry.DistRetries().Inc()
+		wait := perfprof.NewTimer()
 		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)) //unicolint:allow detclock retry-backoff jitter; search spend is counted in evaluations, not wall time
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
+			wait.ObserveVolatileAs("dist.retry_wait")
 			return fmt.Errorf("dist: post %s: %w", path, ctx.Err())
 		case <-timer.C:
 		}
+		wait.ObserveVolatileAs("dist.retry_wait")
 		if backoff *= 2; backoff > c.opts.MaxBackoff {
 			backoff = c.opts.MaxBackoff
 		}

@@ -1,138 +1,27 @@
-package evalcache
+package evalcache_test
 
 import (
-	"math/rand"
 	"testing"
 
-	"unico/internal/camodel"
-	"unico/internal/hw"
-	"unico/internal/maestro"
-	"unico/internal/mapping"
-	"unico/internal/workload"
+	"unico/internal/benchmarks"
 )
 
-// rungWorkload models what successive halving actually does to the PPA
-// engine: a batch of hardware candidates whose surviving mapping searches are
-// re-advanced rung after rung, re-evaluating the same warm-start and
-// incumbent schedules every time.
-type rungTriple struct {
-	cfg hw.Spatial
-	m   mapping.Spatial
-	l   workload.Layer
-}
-
-func rungWorkload() []rungTriple {
-	space := hw.NewSpatialSpace(hw.Edge)
-	rng := rand.New(rand.NewSource(7))
-	layers := workload.MobileNet().Layers
-	if len(layers) > 8 {
-		layers = layers[:8]
-	}
-	var triples []rungTriple
-	for cand := 0; cand < 4; cand++ {
-		cfg := space.Decode(space.Sample(rng))
-		for _, l := range layers {
-			for s := 0; s < 8; s++ {
-				m := mapping.RandomSpatial(rng, l).Canon(l)
-				triples = append(triples, rungTriple{cfg: cfg, m: m, l: l})
-			}
-		}
-	}
-	return triples
-}
+// The repeated-rung bench bodies live in internal/benchmarks so that
+// cmd/unicobench runs the identical workloads; these wrappers keep them
+// runnable as `go test -bench` from this package (an external test package,
+// because benchmarks itself imports evalcache).
 
 // BenchmarkRepeatedRungWorkload measures the hit-rate win of the cache on a
 // repeated-rung evaluation pattern: each "rung" revisits the identical
 // (hardware, mapping, layer) triples, so with the cache only the first rung
 // pays for engine computation.
 func BenchmarkRepeatedRungWorkload(b *testing.B) {
-	triples := rungWorkload()
-	const rungs = 4
-
-	b.Run("uncached", func(b *testing.B) {
-		eng := maestro.Engine{}
-		for i := 0; i < b.N; i++ {
-			for r := 0; r < rungs; r++ {
-				for _, tr := range triples {
-					_, _ = eng.Evaluate(tr.cfg, tr.m, tr.l)
-				}
-			}
-		}
-		b.ReportMetric(0, "hit-rate")
-	})
-
-	b.Run("cached", func(b *testing.B) {
-		// One cache across all b.N iterations: after the first rung every
-		// evaluation is a hit, which is exactly the warm-start regime.
-		eng := Spatial{Inner: maestro.Engine{}, Cache: New(0)}
-		for i := 0; i < b.N; i++ {
-			for r := 0; r < rungs; r++ {
-				for _, tr := range triples {
-					_, _ = eng.Evaluate(tr.cfg, tr.m, tr.l)
-				}
-			}
-		}
-		b.ReportMetric(eng.Cache.Stats().HitRate(), "hit-rate")
-	})
+	benchmarks.RepeatedRungWorkload(b)
 }
 
-// ascendRungWorkload mirrors rungWorkload on the Ascend-like platform, where
-// each evaluation runs the cycle-level simulator — the regime the cache is
-// really for (a hit saves simulation, not just arithmetic).
-type ascendTriple struct {
-	cfg hw.Ascend
-	m   mapping.Ascend
-	l   workload.Layer
-}
-
-func ascendRungWorkload() []ascendTriple {
-	space := hw.NewAscendSpace()
-	rng := rand.New(rand.NewSource(7))
-	layers := workload.DLEU().Layers
-	if len(layers) > 4 {
-		layers = layers[:4]
-	}
-	var triples []ascendTriple
-	for cand := 0; cand < 2; cand++ {
-		cfg := space.Decode(space.Sample(rng))
-		for _, l := range layers {
-			for s := 0; s < 4; s++ {
-				m := mapping.RandomAscend(rng, l).Canon(l)
-				triples = append(triples, ascendTriple{cfg: cfg, m: m, l: l})
-			}
-		}
-	}
-	return triples
-}
-
-// BenchmarkRepeatedRungWorkloadAscend is the cycle-level variant of
-// BenchmarkRepeatedRungWorkload: the simulator costs orders of magnitude
-// more than a key hash, so the cached ns/op tracks the miss fraction.
+// BenchmarkRepeatedRungWorkloadAscend is the cycle-level variant: the
+// simulator costs orders of magnitude more than a key hash, so the cached
+// ns/op tracks the miss fraction.
 func BenchmarkRepeatedRungWorkloadAscend(b *testing.B) {
-	triples := ascendRungWorkload()
-	const rungs = 4
-
-	b.Run("uncached", func(b *testing.B) {
-		eng := camodel.Engine{}
-		for i := 0; i < b.N; i++ {
-			for r := 0; r < rungs; r++ {
-				for _, tr := range triples {
-					_, _ = eng.Evaluate(tr.cfg, tr.m, tr.l)
-				}
-			}
-		}
-		b.ReportMetric(0, "hit-rate")
-	})
-
-	b.Run("cached", func(b *testing.B) {
-		eng := Ascend{Inner: camodel.Engine{}, Cache: New(0)}
-		for i := 0; i < b.N; i++ {
-			for r := 0; r < rungs; r++ {
-				for _, tr := range triples {
-					_, _ = eng.Evaluate(tr.cfg, tr.m, tr.l)
-				}
-			}
-		}
-		b.ReportMetric(eng.Cache.Stats().HitRate(), "hit-rate")
-	})
+	benchmarks.RepeatedRungWorkloadAscend(b)
 }

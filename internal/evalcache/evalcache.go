@@ -43,6 +43,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unico/internal/perfprof"
 	"unico/internal/ppa"
 	"unico/internal/telemetry"
 )
@@ -175,6 +176,11 @@ func (c *Cache) shardFor(k Key) *shard { return &c.shards[int(k[0])%numShards] }
 // it finishes and share its result. An error returned by compute is cached
 // like a value (deterministic infeasibility) unless wrapped with Uncachable.
 func (c *Cache) Do(key Key, engine string, compute func() (ppa.Metrics, error)) (ppa.Metrics, error) {
+	// Phase attribution: hit/miss/wait classification depends on goroutine
+	// scheduling (a concurrent duplicate waits where a later one hits), so
+	// all three phases are volatile — visible in reports and metrics, never
+	// in deterministic flight-record deltas.
+	t := perfprof.NewTimer()
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
@@ -183,6 +189,7 @@ func (c *Cache) Do(key Key, engine string, compute func() (ppa.Metrics, error)) 
 		s.mu.Unlock()
 		c.hits.Add(1)
 		telemetry.EvalCacheHits().Inc()
+		t.ObserveVolatileAs("evalcache.hit")
 		return e.met, e.err
 	}
 	if cl, ok := s.inflight[key]; ok {
@@ -190,6 +197,7 @@ func (c *Cache) Do(key Key, engine string, compute func() (ppa.Metrics, error)) 
 		c.waits.Add(1)
 		telemetry.EvalCacheInflightWaits().Inc()
 		<-cl.done
+		t.ObserveVolatileAs("evalcache.wait")
 		return cl.met, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
@@ -198,6 +206,7 @@ func (c *Cache) Do(key Key, engine string, compute func() (ppa.Metrics, error)) 
 
 	c.misses.Add(1)
 	telemetry.EvalCacheMisses().Inc()
+	defer t.ObserveVolatileAs("evalcache.miss")
 
 	met, err := compute()
 	var transient *uncachableError

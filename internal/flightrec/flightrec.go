@@ -32,6 +32,8 @@ import (
 	"os"
 	"strconv"
 	"sync"
+
+	"unico/internal/perfprof"
 )
 
 // Record type tags, the "type" field of each artifact line.
@@ -102,6 +104,10 @@ type Header struct {
 	RunID string `json:"run_id"`
 	// StartedAt is the wall-clock start time, RFC 3339.
 	StartedAt string `json:"started_at,omitempty"`
+	// Revision is the VCS revision the recording binary was built from
+	// (internal/buildinfo), correlating the artifact with bench baselines
+	// and dashboard series of the same commit.
+	Revision string `json:"revision,omitempty"`
 	// Method is the co-optimization method name ("UNICO", "HASCO", ...).
 	Method string `json:"method,omitempty"`
 	// Workload is the (combined) workload name under co-optimization.
@@ -154,6 +160,12 @@ type Iteration struct {
 	// counters (zero when no cache is attached).
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// Phases is this iteration's phase-attribution delta: per-phase span
+	// counts and simulated-clock seconds (internal/perfprof), sorted by
+	// path. Wall times are deliberately absent — every field here is a
+	// deterministic function of the run configuration, preserving the
+	// kill/resume bit-identity contract.
+	Phases []perfprof.PhaseDelta `json:"phases,omitempty"`
 }
 
 // Summary is the artifact's final line, written when a run returns. A killed

@@ -8,12 +8,15 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"unico/internal/perfprof"
 )
 
 func testHeader() Header {
 	return Header{
 		RunID:     "abcd1234",
 		StartedAt: "2026-01-02T03:04:05Z",
+		Revision:  "deadbeef1234",
 		Method:    "UNICO",
 		Workload:  "MobileNetV3-S",
 		Seed:      7,
@@ -36,6 +39,12 @@ func testIteration(i int) Iteration {
 		Best:          []float64{1.0 / float64(i), 100, 2},
 		Front:         [][]float64{{1.0 / float64(i), 100, 2}, {2, 50, 1}},
 		RungAlive:     []int{6, 3, 1},
+		Phases: []perfprof.PhaseDelta{
+			{Path: "iteration", Count: 1, SimSeconds: float64(i) * 5400},
+			{Path: "iteration/sh.rung", Count: 2, SimSeconds: float64(i) * 5300},
+			{Path: "iteration/sh.rung/mapsearch.advance", Count: uint64(4 * i)},
+			{Path: "iteration/update", Count: 1, SimSeconds: 5},
+		},
 	}
 }
 

@@ -1,0 +1,116 @@
+// Phase-breakdown panel of the flight record's HTML faces: aggregates the
+// per-iteration perfprof deltas into a run-level phase tree and renders it
+// as an SVG bar chart plus a table. Pure functions of RunData, like the
+// rest of the SVG views, so the golden test pins them.
+
+package flightrec
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+)
+
+// PhaseAgg is one phase's run-level aggregate over all recorded iterations.
+type PhaseAgg struct {
+	Path       string
+	Count      uint64
+	SimSeconds float64
+	// SelfSimSeconds is SimSeconds minus the direct children's, the share
+	// the bars rank by (a parent should not dwarf its own breakdown).
+	SelfSimSeconds float64
+}
+
+// AggregatePhases sums the per-iteration phase deltas into per-path totals,
+// computes self times over the path tree, and returns them sorted by path.
+func AggregatePhases(iters []Iteration) []PhaseAgg {
+	total := map[string]*PhaseAgg{}
+	for _, it := range iters {
+		for _, d := range it.Phases {
+			a := total[d.Path]
+			if a == nil {
+				a = &PhaseAgg{Path: d.Path}
+				total[d.Path] = a
+			}
+			a.Count += d.Count
+			a.SimSeconds += d.SimSeconds
+		}
+	}
+	paths := make([]string, 0, len(total))
+	for path := range total {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	childSim := map[string]float64{}
+	for _, path := range paths {
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			childSim[path[:i]] += total[path].SimSeconds
+		}
+	}
+	out := make([]PhaseAgg, len(paths))
+	for i, path := range paths {
+		a := *total[path]
+		a.SelfSimSeconds = a.SimSeconds - childSim[path]
+		out[i] = a
+	}
+	return out
+}
+
+// PhaseBarsSVG renders the top phases by self simulated time as horizontal
+// bars — the "where does an iteration's budget go" view.
+func PhaseBarsSVG(iters []Iteration) string {
+	const maxBars = 8
+	var b strings.Builder
+	openSVG(&b, "Phase breakdown (self sim-seconds)")
+	aggs := AggregatePhases(iters)
+	ranked := append([]PhaseAgg(nil), aggs...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].SelfSimSeconds > ranked[j].SelfSimSeconds
+	})
+	if len(ranked) > maxBars {
+		ranked = ranked[:maxBars]
+	}
+	maxV := 0.0
+	for _, a := range ranked {
+		if a.SelfSimSeconds > maxV {
+			maxV = a.SelfSimSeconds
+		}
+	}
+	if len(ranked) == 0 || maxV <= 0 {
+		emptyNote(&b)
+		closeSVG(&b)
+		return b.String()
+	}
+	// Horizontal bars: labels left, value right, widest bar spans the plot.
+	const labelW = 170.0
+	rowH := (plotH - plotMT - plotMB) / float64(len(ranked))
+	for i, a := range ranked {
+		y := plotMT + float64(i)*rowH
+		w := scale(a.SelfSimSeconds, 0, maxV, 0, plotW-plotMR-labelW)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10" text-anchor="end">%s</text>`,
+			coord(labelW-6), coord(y+rowH/2+3), html.EscapeString(a.Path))
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="#2ca02c" fill-opacity="0.8"/>`,
+			coord(labelW), coord(y+2), coord(w), coord(rowH-4))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="10">%s</text>`,
+			coord(labelW+w+4), coord(y+rowH/2+3), fnum(a.SelfSimSeconds))
+	}
+	closeSVG(&b)
+	return b.String()
+}
+
+// PhaseTableHTML renders the aggregated phase tree as a table, sorted by
+// path so nesting reads top-down; maxRows bounds the output.
+func PhaseTableHTML(iters []Iteration, maxRows int) string {
+	var b strings.Builder
+	b.WriteString(`<table class="rungs"><tr><th>phase</th><th>count</th><th>sim s</th><th>self sim s</th></tr>`)
+	for i, a := range AggregatePhases(iters) {
+		if i >= maxRows {
+			break
+		}
+		fmt.Fprintf(&b, `<tr><td><code>%s</code></td><td>%d</td><td>%s</td><td>%s</td></tr>`,
+			html.EscapeString(a.Path), a.Count, fnum(a.SimSeconds), fnum(a.SelfSimSeconds))
+	}
+	b.WriteString(`</table>`)
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package flightrec
+
+import (
+	"strings"
+	"testing"
+
+	"unico/internal/perfprof"
+)
+
+func phaseIters() []Iteration {
+	mk := func(iter int) Iteration {
+		return Iteration{Iter: iter, Phases: []perfprof.PhaseDelta{
+			{Path: "iteration", Count: 1, SimSeconds: 100},
+			{Path: "iteration/sh.rung", Count: 2, SimSeconds: 90},
+			{Path: "iteration/update", Count: 1, SimSeconds: 5},
+		}}
+	}
+	return []Iteration{mk(1), mk(2)}
+}
+
+func TestAggregatePhases(t *testing.T) {
+	aggs := AggregatePhases(phaseIters())
+	byPath := map[string]PhaseAgg{}
+	var order []string
+	for _, a := range aggs {
+		byPath[a.Path] = a
+		order = append(order, a.Path)
+	}
+	if len(order) != 3 || order[0] != "iteration" || order[1] != "iteration/sh.rung" {
+		t.Fatalf("paths out of order: %v", order)
+	}
+	it := byPath["iteration"]
+	if it.Count != 2 || it.SimSeconds != 200 {
+		t.Errorf("iteration agg = %+v, want count 2 sim 200", it)
+	}
+	// self = 200 - (180 + 10) children
+	if it.SelfSimSeconds != 10 {
+		t.Errorf("iteration self sim = %v, want 10", it.SelfSimSeconds)
+	}
+	if leaf := byPath["iteration/sh.rung"]; leaf.SelfSimSeconds != 180 {
+		t.Errorf("sh.rung self sim = %v, want 180 (no children)", leaf.SelfSimSeconds)
+	}
+}
+
+func TestPhaseBarsSVG(t *testing.T) {
+	svg := PhaseBarsSVG(phaseIters())
+	if !strings.Contains(svg, "<rect") {
+		t.Errorf("bars SVG has no rects:\n%s", svg)
+	}
+	if !strings.Contains(svg, "iteration/sh.rung") {
+		t.Errorf("bars SVG missing dominant phase label:\n%s", svg)
+	}
+	// Empty input renders the standard empty note, not broken markup.
+	if empty := PhaseBarsSVG(nil); !strings.Contains(empty, "no data") {
+		t.Errorf("empty bars SVG = %q, want the no-data note", empty)
+	}
+}
+
+func TestPhaseTableHTML(t *testing.T) {
+	tbl := PhaseTableHTML(phaseIters(), 32)
+	for _, want := range []string{"iteration/update", "<table", "self sim"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("phase table missing %q:\n%s", want, tbl)
+		}
+	}
+	if trunc := PhaseTableHTML(phaseIters(), 1); strings.Contains(trunc, "iteration/update") {
+		t.Errorf("maxRows not honored:\n%s", trunc)
+	}
+}

@@ -57,6 +57,7 @@ func ReportHTML(d RunData, title string) []byte {
 			h.Seed, h.Batch, h.MaxIter, h.BMax))
 	}
 	metaRow("started", h.StartedAt)
+	metaRow("revision", h.Revision)
 	b.WriteString(`</table>`)
 
 	switch {
@@ -94,6 +95,12 @@ func ReportHTML(d RunData, title string) []byte {
 
 	b.WriteString(`<h2>Successive-halving survivors</h2>`)
 	b.WriteString(RungTableHTML(d.Iters, 20))
+
+	b.WriteString(`<h2>Phase breakdown</h2>`)
+	b.WriteString(`<div class="charts">`)
+	b.WriteString(PhaseBarsSVG(d.Iters))
+	b.WriteString(`</div>`)
+	b.WriteString(PhaseTableHTML(d.Iters, 32))
 	b.WriteString("</body></html>\n")
 	return []byte(b.String())
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"unico/internal/linalg"
+	"unico/internal/perfprof"
 	"unico/internal/telemetry"
 )
 
@@ -83,6 +84,7 @@ var ErrNoData = errors.New("gp: no training data")
 
 // Fit trains a GP on (x, y) with fixed kernel hyperparameters.
 func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) {
+	defer perfprof.Begin("gp.fit").End()
 	if len(x) == 0 {
 		return nil, ErrNoData
 	}
@@ -122,6 +124,7 @@ func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) 
 // grid search over lengthscales and noise levels, with Matérn-5/2 kernels of
 // unit signal variance on standardized targets.
 func FitAuto(x [][]float64, y []float64) (*GP, error) {
+	defer perfprof.Begin("gp.fit_auto").End()
 	if len(x) == 0 {
 		return nil, ErrNoData
 	}
@@ -171,6 +174,7 @@ func (g *GP) LogMarginalLikelihood() float64 {
 // Predict returns the posterior mean and variance at x (on the original
 // target scale).
 func (g *GP) Predict(x []float64) (mean, variance float64) {
+	defer perfprof.Begin("gp.predict").End()
 	n := len(g.x)
 	ks := make([]float64, n)
 	for i := range g.x {

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"unico/internal/perfprof"
 )
 
 // ErrNotPD reports a matrix that is not (numerically) positive definite.
@@ -44,6 +46,7 @@ func (m *Matrix) Clone() *Matrix {
 // if the factorization fails, the standard GP numerical safeguard. The input
 // is not modified.
 func Cholesky(a *Matrix) (*Matrix, error) {
+	defer perfprof.Begin("linalg.cholesky").End()
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}

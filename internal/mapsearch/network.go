@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"unico/internal/perfprof"
 	"unico/internal/ppa"
 	"unico/internal/telemetry"
 )
@@ -64,6 +65,8 @@ type ContextAdvancer interface {
 // AdvanceSearcher advances a searcher through its ContextAdvancer fast path
 // when it has one, falling back to the plain (non-cancelable) Advance.
 func AdvanceSearcher(ctx context.Context, s Searcher, budget int) {
+	_, span := perfprof.Start(ctx, "mapsearch.advance")
+	defer span.End()
 	if ca, ok := s.(ContextAdvancer); ok {
 		ca.AdvanceContext(ctx, budget)
 		return

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"unico/internal/gp"
+	"unico/internal/perfprof"
 	"unico/internal/telemetry"
 )
 
@@ -172,6 +173,7 @@ func (o *Optimizer) UUL() float64 { return o.uul }
 // SuggestBatch proposes n distinct unevaluated configurations: random while
 // the surrogate is cold, acquisition-guided afterwards.
 func (o *Optimizer) SuggestBatch(n int) [][]float64 {
+	defer perfprof.Begin("mobo.suggest").End()
 	batch := make([][]float64, 0, n)
 	batchSeen := map[string]bool{}
 	add := func(x []float64) bool {
@@ -311,6 +313,7 @@ func (o *Optimizer) topTrain(k int, lambda []float64) [][]float64 {
 //
 // with ŷ the normalized log objectives.
 func (o *Optimizer) ScalarizeParEGO(y []float64) float64 {
+	defer perfprof.Begin("mobo.scalarize").End()
 	return o.scalarizeObs(y, o.cfg.Weights)
 }
 
@@ -367,6 +370,7 @@ func logc(v float64) float64 {
 // surrogate update rule, refits the GPs, and returns the number of samples
 // admitted to the training set.
 func (o *Optimizer) Update(batch []Observation) int {
+	defer perfprof.Begin("mobo.update").End()
 	if len(batch) == 0 {
 		return 0
 	}

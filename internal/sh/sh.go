@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"unico/internal/mapsearch"
+	"unico/internal/perfprof"
 	"unico/internal/ppa"
 	"unico/internal/simclock"
 	"unico/internal/telemetry"
@@ -127,6 +128,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 		}
 		target := cumBudget[r]
 		simStart := simNow(cfg.Clock)
+		rctx, rungSpan := perfprof.StartClocked(ctx, "sh.rung", cfg.Clock)
 		// Advance all alive candidates to the round's cumulative budget, in
 		// parallel; charge the makespan to the simulated clock.
 		var wg sync.WaitGroup
@@ -145,7 +147,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 			go func(j mapsearch.Searcher, d int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				mapsearch.AdvanceSearcher(ctx, j, d)
+				mapsearch.AdvanceSearcher(rctx, j, d)
 			}(jobs[ji], d)
 		}
 		wg.Wait()
@@ -171,6 +173,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 			}
 		}
 		if r == rounds-1 {
+			rungSpan.End()
 			telemetry.SHRungs().Inc()
 			telemetry.SHSurvivors().Set(float64(len(alive)))
 			cfg.Tracer.Complete("sh_rung", "sh", 0, simStart, simNow(cfg.Clock), map[string]any{
@@ -180,6 +183,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 		}
 		alive = Promote(jobs, alive, cfg)
 		rungAlive = append(rungAlive, len(alive))
+		rungSpan.End()
 		telemetry.SHRungs().Inc()
 		telemetry.SHSurvivors().Set(float64(len(alive)))
 		cfg.Tracer.Complete("sh_rung", "sh", 0, simStart, simNow(cfg.Clock), map[string]any{
@@ -187,12 +191,13 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 		})
 		if len(alive) <= 1 {
 			// Run the lone survivor to full budget.
+			fctx, fullSpan := perfprof.StartClocked(ctx, "sh.full_budget", cfg.Clock)
 			last := rounds - 1
 			for _, ji := range alive {
 				d := cumBudget[last] - jobs[ji].Spent()
 				if d > 0 {
 					before := jobs[ji].Spent()
-					mapsearch.AdvanceSearcher(ctx, jobs[ji], d)
+					mapsearch.AdvanceSearcher(fctx, jobs[ji], d)
 					spent := jobs[ji].Spent() - before
 					totalEvals += spent
 					if cfg.Clock != nil && spent > 0 {
@@ -200,6 +205,7 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 					}
 				}
 			}
+			fullSpan.End()
 			break
 		}
 	}

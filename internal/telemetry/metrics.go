@@ -91,6 +91,58 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// NewHistogram returns a standalone histogram with the given bucket upper
+// bounds, not attached to any registry — for callers that need quantile
+// estimates over their own observations (the perfprof phase profiler)
+// without exporting a metric family. nil selects DefBuckets.
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Quantile estimates the q-quantile (q in [0,1], clamped) of the observed
+// values by linear interpolation inside the owning bucket — the same
+// estimator as Prometheus's histogram_quantile. Edge semantics: an empty
+// histogram returns 0; observations beyond the largest finite bound (the
+// implicit +Inf bucket) are reported as that largest finite bound, since the
+// bucket has no upper edge to interpolate toward.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if rank < cum {
+				rank = cum
+			}
+			return lower + (bound-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	if n := len(h.bounds); n > 0 {
+		return h.bounds[n-1]
+	}
+	return 0
+}
+
 // DefBuckets are the default latency buckets (seconds), matching the
 // Prometheus client defaults.
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}

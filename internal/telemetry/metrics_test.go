@@ -137,3 +137,48 @@ func TestLabelEscaping(t *testing.T) {
 		t.Errorf("bad escaping:\n%s", b.String())
 	}
 }
+
+// TestQuantileEdges covers the histogram quantile estimator's boundary
+// behavior: empty histograms, a single observation, all-equal values, and
+// out-of-range q clamping.
+func TestQuantileEdges(t *testing.T) {
+	buckets := []float64{1, 2, 4}
+
+	empty := NewHistogram(buckets)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+
+	single := NewHistogram(buckets)
+	single.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := single.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Errorf("single-observation quantile(%v) = %v, want in [1, 2]", q, got)
+		}
+	}
+
+	equal := NewHistogram(buckets)
+	for i := 0; i < 100; i++ {
+		equal.Observe(3)
+	}
+	p50, p95 := equal.Quantile(0.5), equal.Quantile(0.95)
+	if p50 <= 2 || p50 > 4 || p95 <= 2 || p95 > 4 {
+		t.Errorf("all-equal quantiles p50=%v p95=%v, want both in (2, 4]", p50, p95)
+	}
+	if p95 < p50 {
+		t.Errorf("p95 %v < p50 %v", p95, p50)
+	}
+
+	// q outside [0, 1] clamps rather than panicking or extrapolating.
+	if lo, hi := equal.Quantile(-3), equal.Quantile(7); lo > hi || hi > 4 {
+		t.Errorf("clamped quantiles lo=%v hi=%v", lo, hi)
+	}
+
+	// Observations above the top bucket report the top finite bound.
+	over := NewHistogram(buckets)
+	over.Observe(100)
+	if got := over.Quantile(0.5); got != 4 {
+		t.Errorf("overflow-bucket quantile = %v, want top bound 4", got)
+	}
+}

@@ -336,6 +336,89 @@ func DistRunRequests(runID string) *Counter {
 	return c
 }
 
+var (
+	buildInfoMu sync.Mutex
+	buildInfos  = map[string]*Gauge{}
+)
+
+// BuildInfo returns the constant-1 build-identity gauge
+// unico_build_info{go_version,vcs_rev} — the Prometheus idiom for exposing
+// version strings as labels. internal/buildinfo resolves the values from
+// the binary's embedded build metadata and sets the gauge once per process.
+func BuildInfo(goVersion, vcsRev string) *Gauge {
+	key := goVersion + "\x00" + vcsRev
+	buildInfoMu.Lock()
+	defer buildInfoMu.Unlock()
+	g := buildInfos[key]
+	if g == nil {
+		g = DefaultRegistry.Gauge("unico_build_info",
+			"Build identity of this binary (constant 1; the identity is in the labels).",
+			Labels{"go_version": goVersion, "vcs_rev": vcsRev})
+		buildInfos[key] = g
+	}
+	return g
+}
+
+var (
+	phaseMu   sync.Mutex
+	phaseWall = map[string]*Histogram{}
+	phaseSim  = map[string]*Gauge{}
+)
+
+// maxPhaseLabels caps the distinct phase labels the process exports; beyond
+// it new phase paths fold into "other" so a pathological caller cannot grow
+// the label set without bound.
+const maxPhaseLabels = 128
+
+// phaseBuckets span phase span durations from sub-microsecond leaf spans
+// (one GP predict) through whole-iteration spans (seconds to a minute).
+var phaseBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 60,
+}
+
+// PhaseSeconds observes wall-clock time spent in one perfprof phase path
+// ("iteration/sh.rung", "gp.fit", ...).
+func PhaseSeconds(phase string) *Histogram {
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	h := phaseWall[phase]
+	if h == nil {
+		if len(phaseWall) >= maxPhaseLabels {
+			phase = "other"
+			if h = phaseWall[phase]; h != nil {
+				return h
+			}
+		}
+		h = DefaultRegistry.Histogram("unico_phase_seconds",
+			"Wall-clock time spent per profiler phase.", phaseBuckets,
+			Labels{"phase": phase})
+		phaseWall[phase] = h
+	}
+	return h
+}
+
+// PhaseSimSeconds accumulates simulated-clock time attributed to one
+// perfprof phase path (only clocked spans move it; a gauge because the
+// attribution is additive across runs in one process).
+func PhaseSimSeconds(phase string) *Gauge {
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	g := phaseSim[phase]
+	if g == nil {
+		if len(phaseSim) >= maxPhaseLabels {
+			phase = "other"
+			if g = phaseSim[phase]; g != nil {
+				return g
+			}
+		}
+		g = DefaultRegistry.Gauge("unico_phase_sim_seconds",
+			"Simulated-clock seconds attributed per profiler phase.",
+			Labels{"phase": phase})
+		phaseSim[phase] = g
+	}
+	return g
+}
+
 // DistWorkerEvictions counts workers evicted from the master's rotation.
 func DistWorkerEvictions() *Counter { distClientMetrics(); return distEvictions }
 

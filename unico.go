@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"unico/internal/baselines"
+	"unico/internal/buildinfo"
 	"unico/internal/checkpoint"
 	"unico/internal/core"
 	"unico/internal/dist"
@@ -448,6 +449,7 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		hdr := flightrec.Header{
 			RunID:       runID,
 			StartedAt:   time.Now().UTC().Format(time.RFC3339), //unicolint:allow detclock wall-clock run metadata in the flight header; excluded from resume identity
+			Revision:    buildinfo.Revision(),
 			Method:      cfg.Method.String(),
 			Workload:    workloadName(p.inner),
 			Seed:        cfg.Seed,
