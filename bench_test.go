@@ -158,6 +158,20 @@ func BenchmarkGPFitPredict(b *testing.B) {
 	benchmarks.GPFitPredict(b)
 }
 
+// BenchmarkCholeskyBlocked measures the blocked factorization on a
+// 256×256 SPD matrix. The body lives in internal/benchmarks so
+// cmd/unicobench runs the identical workload.
+func BenchmarkCholeskyBlocked(b *testing.B) {
+	benchmarks.CholeskyBlocked(b)
+}
+
+// BenchmarkRank1Update measures the O(n²) rank-1 Cholesky update that the
+// incremental-GP path uses in place of refactorization. The body lives in
+// internal/benchmarks so cmd/unicobench runs the identical workload.
+func BenchmarkRank1Update(b *testing.B) {
+	benchmarks.Rank1Update(b)
+}
+
 // BenchmarkEndToEndMicro runs the Table-1-style micro co-search of
 // internal/benchmarks end to end — the bench whose phase breakdown
 // cmd/unicobench records in BENCH_*.json.

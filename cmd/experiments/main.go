@@ -39,6 +39,7 @@ func main() {
 	run := flag.String("run", "all", "experiment id: all,table1,table2,fig7,fig8,fig9,fig10,fig11")
 	scale := flag.String("scale", "small", "paper | small")
 	seed := flag.Int64("seed", 0, "override the scale's seed (0 keeps default)")
+	searchWorkers := flag.Int("search-workers", 0, "parallel acquisition workers inside each suggestion step (0 keeps the engine default; results identical at every setting)")
 	traceFile := flag.String("trace", "", "write search events of every run as Chrome-trace JSONL to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	progress := flag.Bool("progress", false, "print per-iteration convergence of every run to stderr")
@@ -160,6 +161,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.SearchWorkers = *searchWorkers
 	s.Context = ctx
 	s.Resume = *resume
 	if *checkpointDir != "" {

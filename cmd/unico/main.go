@@ -33,17 +33,18 @@ import (
 
 func main() {
 	var (
-		networks = flag.String("networks", "MobileNet", "comma-separated zoo network names")
-		scenario = flag.String("scenario", "edge", "edge | cloud | ascend")
-		method   = flag.String("method", "unico", "unico | hasco | mobohb | nsgaii")
-		batch    = flag.Int("batch", 30, "hardware batch size N")
-		iters    = flag.Int("iters", 10, "outer iterations")
-		bmax     = flag.Int("bmax", 300, "software-mapping budget b_max")
-		workers  = flag.Int("workers", 8, "parallel mapping-search workers")
-		seed     = flag.Int64("seed", 1, "random seed")
-		noR      = flag.Bool("no-robustness", false, "drop the sensitivity objective R")
-		list     = flag.Bool("list", false, "list available networks and exit")
-		jsonNets = flag.String("workload-json", "", "comma-separated JSON workload files (overrides -networks)")
+		networks      = flag.String("networks", "MobileNet", "comma-separated zoo network names")
+		scenario      = flag.String("scenario", "edge", "edge | cloud | ascend")
+		method        = flag.String("method", "unico", "unico | hasco | mobohb | nsgaii")
+		batch         = flag.Int("batch", 30, "hardware batch size N")
+		iters         = flag.Int("iters", 10, "outer iterations")
+		bmax          = flag.Int("bmax", 300, "software-mapping budget b_max")
+		workers       = flag.Int("workers", 8, "parallel mapping-search workers")
+		searchWorkers = flag.Int("search-workers", 8, "parallel acquisition workers inside each suggestion step (results identical at every setting)")
+		seed          = flag.Int64("seed", 1, "random seed")
+		noR           = flag.Bool("no-robustness", false, "drop the sensitivity objective R")
+		list          = flag.Bool("list", false, "list available networks and exit")
+		jsonNets      = flag.String("workload-json", "", "comma-separated JSON workload files (overrides -networks)")
 
 		traceFile    = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and the /debug/unico dashboard on this address while running")
@@ -187,6 +188,7 @@ func main() {
 		Iterations:        *iters,
 		BudgetMax:         *bmax,
 		Workers:           *workers,
+		SearchWorkers:     *searchWorkers,
 		Seed:              *seed,
 		DisableRobustness: *noR,
 		Cache:             *useCache,

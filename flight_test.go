@@ -168,6 +168,61 @@ func TestFlightRecordKillResumeIdentical(t *testing.T) {
 	}
 }
 
+// TestFlightRecordIdenticalAcrossSearchWorkers pins the acquisition pool's
+// determinism contract at the facade layer: the same seed run serially
+// (SearchWorkers=1) and on a wide pool (SearchWorkers=8) must leave flight
+// records with identical iteration records, summaries and phase trees — the
+// worker count is a wall-clock knob, never a result knob.
+func TestFlightRecordIdenticalAcrossSearchWorkers(t *testing.T) {
+	p, err := OpenSourcePlatform(Edge, "MobileNetV3-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	serial := flightConfig(dir)
+	serial.SearchWorkers = 1
+	serial.FlightRecordFile = filepath.Join(dir, "serial.jsonl")
+	sres, err := Optimize(p, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := flightrec.Load(serial.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := flightConfig(dir)
+	parallel.SearchWorkers = 8
+	parallel.FlightRecordFile = filepath.Join(dir, "parallel.jsonl")
+	pres, err := Optimize(p, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := flightrec.Load(parallel.FlightRecordFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(sres.Front, pres.Front) || sres.SimulatedHours != pres.SimulatedHours {
+		t.Error("search result diverged across SearchWorkers settings")
+	}
+	if !reflect.DeepEqual(want.Iters, got.Iters) {
+		t.Errorf("iteration records diverged across SearchWorkers:\nserial   %+v\nparallel %+v", want.Iters, got.Iters)
+	}
+	if !reflect.DeepEqual(want.Summary, got.Summary) {
+		t.Errorf("summary diverged across SearchWorkers:\nserial   %+v\nparallel %+v", want.Summary, got.Summary)
+	}
+	wantPhases := flightrec.AggregatePhases(want.Iters)
+	gotPhases := flightrec.AggregatePhases(got.Iters)
+	if len(wantPhases) == 0 {
+		t.Fatal("serial run recorded no phase deltas")
+	}
+	if !reflect.DeepEqual(wantPhases, gotPhases) {
+		t.Errorf("phase trees diverged across SearchWorkers:\nserial   %+v\nparallel %+v", wantPhases, gotPhases)
+	}
+}
+
 // TestFlightRecordCacheCounters: with the evaluation cache on, the durable
 // iteration records carry the cache's cumulative counters (stamped at the
 // facade layer, where the cache lives).

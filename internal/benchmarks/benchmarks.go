@@ -16,6 +16,7 @@ import (
 	"unico/internal/evalcache"
 	"unico/internal/gp"
 	"unico/internal/hw"
+	"unico/internal/linalg"
 	"unico/internal/maestro"
 	"unico/internal/mapping"
 	"unico/internal/mapsearch"
@@ -38,6 +39,8 @@ type Case struct {
 func All() []Case {
 	return []Case{
 		{Name: "GPFitPredict", Fn: GPFitPredict},
+		{Name: "CholeskyBlocked", Fn: CholeskyBlocked},
+		{Name: "Rank1Update", Fn: Rank1Update},
 		{Name: "MappingSearchUnit", Fn: MappingSearchUnit},
 		{Name: "RepeatedRungWorkload/uncached", Fn: rungUncached},
 		{Name: "RepeatedRungWorkload/cached", Fn: rungCached},
@@ -51,7 +54,7 @@ func All() []Case {
 // training sizes MOBO reaches.
 func GPFitPredict(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	n, d := 120, 6
+	n, d := 128, 6
 	xs := make([][]float64, n)
 	ys := make([]float64, n)
 	for i := range xs {
@@ -69,6 +72,65 @@ func GPFitPredict(b *testing.B) {
 			b.Fatal(err)
 		}
 		g.Predict(xs[0])
+	}
+}
+
+// spdMatrix builds a random well-conditioned SPD matrix A = B·Bᵀ + n·I.
+func spdMatrix(rng *rand.Rand, n int) *linalg.Matrix {
+	bm := linalg.New(n, n)
+	for i := range bm.Data {
+		bm.Data[i] = rng.NormFloat64()
+	}
+	a := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += bm.At(i, k) * bm.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+// CholeskyBlocked measures the blocked factorization on a 256×256 SPD
+// matrix — large enough that several panel/trailing-update rounds run.
+func CholeskyBlocked(b *testing.B) {
+	a := spdMatrix(rand.New(rand.NewSource(1)), 256)
+	dst := linalg.New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.CholeskyInto(dst, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Rank1Update measures the O(n²) rank-1 factor update against the O(n³)
+// refactorization it replaces on the incremental-GP path.
+func Rank1Update(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	a := spdMatrix(rng, n)
+	base, err := linalg.Cholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	l := linalg.New(n, n)
+	vv := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(l.Data, base.Data)
+		copy(vv, v)
+		if err := linalg.CholeskyUpdate(l, vv); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -30,6 +30,9 @@ var ErrResumeMismatch = errors.New("core: checkpoint does not match run configur
 // Fingerprint identifies the (platform, options) combination a checkpoint
 // belongs to. Every field influences the search trajectory, so any mismatch
 // means the checkpointed state cannot be continued bit-identically.
+// Options.SearchWorkers is deliberately absent: the acquisition pool is
+// bit-identical at every worker count, so a checkpoint taken at one setting
+// may resume at any other.
 type Fingerprint struct {
 	Platform       string          `json:"platform"`
 	SpaceDim       int             `json:"space_dim"`

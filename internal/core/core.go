@@ -73,6 +73,13 @@ type Options struct {
 	UpdateRule mobo.UpdateRule
 	// Workers bounds parallel mapping-search jobs (paper Fig. 6).
 	Workers int
+	// SearchWorkers bounds the parallel acquisition scalarizations inside
+	// each MOBO suggestion step (mobo.Config.SearchWorkers). Results are
+	// bit-identical for every value — it trades wall-clock time only — so
+	// unlike Workers it is deliberately excluded from the checkpoint
+	// fingerprint: a run checkpointed at one setting resumes cleanly at
+	// another. Default 8.
+	SearchWorkers int
 	// Seed makes the run deterministic.
 	Seed int64
 	// Clock accrues simulated wall-clock time; a fresh clock is created if
@@ -137,6 +144,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 8
+	}
+	if o.SearchWorkers <= 0 {
+		o.SearchWorkers = 8
 	}
 	if o.Alpha <= 0 || o.Alpha >= 1 {
 		o.Alpha = robust.DefaultAlpha
@@ -250,6 +260,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 	}
 	moboCfg := mobo.DefaultConfig(nObj)
 	moboCfg.Rule = opt.UpdateRule
+	moboCfg.SearchWorkers = opt.SearchWorkers
 
 	var (
 		res      Result

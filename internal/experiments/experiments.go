@@ -73,6 +73,11 @@ type Scale struct {
 	// artifact named after the run (<name>.run.jsonl, mirroring the
 	// checkpoint naming), viewable with cmd/unicoreport.
 	FlightDir string
+	// SearchWorkers, when positive, bounds the parallel acquisition
+	// scalarizations of every core co-search run (core.Options.SearchWorkers).
+	// Results are bit-identical at every setting, so comparative tables are
+	// unaffected — it only changes how long they take to produce.
+	SearchWorkers int
 }
 
 // run executes one core co-search under the scale's cancellation context
@@ -83,6 +88,9 @@ func (s Scale) run(name string, p core.Platform, opt core.Options) core.Result {
 	ctx := s.Context
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.SearchWorkers > 0 {
+		opt.SearchWorkers = s.SearchWorkers
 	}
 	if s.CheckpointDir != "" {
 		path := filepath.Join(s.CheckpointDir, name+".ckpt")

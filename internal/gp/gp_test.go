@@ -3,6 +3,7 @@ package gp
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -150,4 +151,175 @@ func TestLMLPrefersBetterFit(t *testing.T) {
 		t.Errorf("LML(good) %v <= LML(bad) %v",
 			good.LogMarginalLikelihood(), bad.LogMarginalLikelihood())
 	}
+}
+
+// randomData draws a synthetic regression set.
+func randomData(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.Float64()
+		}
+		y[i] = math.Sin(3*x[i][0]) + 0.3*x[i][1%d] + 0.05*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// TestExtendMatchesRefitBitwise grows a GP one observation at a time and
+// checks the incremental factor, alpha and predictions equal a full
+// FitWithParams at the same hyperparameters and jitter, bit for bit —
+// the invariant checkpoint resume relies on.
+func TestExtendMatchesRefitBitwise(t *testing.T) {
+	x, y := randomData(40, 4, 3)
+	g, err := FitAuto(x[:25], y[:25])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.Params()
+	if !ok {
+		t.Fatal("FitAuto GP reports no params")
+	}
+	for i := 25; i < 40; i++ {
+		if err := g.Extend(x[i], y[i]); err != nil {
+			t.Fatalf("extend %d: %v", i, err)
+		}
+		want, err := FitWithParams(x[:i+1], y[:i+1], p, g.Jitter())
+		if err != nil {
+			t.Fatalf("refit %d: %v", i, err)
+		}
+		for k := range want.chol.Data {
+			if g.chol.Data[k] != want.chol.Data[k] {
+				t.Fatalf("n=%d: chol[%d] = %v, refit %v", i+1, k, g.chol.Data[k], want.chol.Data[k])
+			}
+		}
+		for k := range want.alpha {
+			if g.alpha[k] != want.alpha[k] {
+				t.Fatalf("n=%d: alpha[%d] = %v, refit %v", i+1, k, g.alpha[k], want.alpha[k])
+			}
+		}
+		q := []float64{0.2, 0.8, 0.5, 0.1}
+		gm, gv := g.Predict(q)
+		wm, wv := want.Predict(q)
+		if gm != wm || gv != wv {
+			t.Fatalf("n=%d: predict (%v, %v), refit (%v, %v)", i+1, gm, gv, wm, wv)
+		}
+	}
+}
+
+// TestFitAutoMatchesExplicitGrid checks the shared-distance-matrix grid
+// search selects the same model as running Fit per candidate explicitly.
+func TestFitAutoMatchesExplicitGrid(t *testing.T) {
+	x, y := randomData(30, 3, 5)
+	g, err := FitAuto(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bestP Params
+	bestLML := math.Inf(-1)
+	for _, ls := range gridLengthscales {
+		for _, nz := range gridNoises {
+			cand, err := Fit(x, y, Matern52{Lengthscale: ls, Variance: 1}, nz)
+			if err != nil {
+				continue
+			}
+			if lml := cand.LogMarginalLikelihood(); lml > bestLML {
+				bestLML = lml
+				bestP = Params{Lengthscale: ls, Variance: 1, Noise: nz}
+			}
+		}
+	}
+	p, _ := g.Params()
+	if p != bestP {
+		t.Fatalf("FitAuto chose %+v, explicit grid %+v", p, bestP)
+	}
+	if got := g.LogMarginalLikelihood(); math.Abs(got-bestLML) > 1e-9 {
+		t.Fatalf("FitAuto LML %v, explicit grid %v", got, bestLML)
+	}
+}
+
+// TestFitAutoFromNeighborhood checks warm-started refits stay within the
+// ±1 lengthscale neighborhood and are deterministic.
+func TestFitAutoFromNeighborhood(t *testing.T) {
+	x, y := randomData(25, 3, 9)
+	prev := Params{Lengthscale: 0.3, Variance: 1, Noise: 1e-2}
+	g, err := FitAutoFrom(x, y, &prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g.Params()
+	if p.Lengthscale < 0.15 || p.Lengthscale > 0.6 {
+		t.Fatalf("warm refit left the neighborhood: %+v", p)
+	}
+	g2, err := FitAutoFrom(x, y, &prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := g2.Params()
+	if p != p2 {
+		t.Fatalf("warm refit not deterministic: %+v vs %+v", p, p2)
+	}
+	// Off-grid previous optimum falls back to the full grid.
+	off := Params{Lengthscale: 0.123, Variance: 1, Noise: 1e-2}
+	gFull, err := FitAutoFrom(x, y, &off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gAuto, err := FitAuto(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _ := gFull.Params()
+	pa, _ := gAuto.Params()
+	if pf != pa {
+		t.Fatalf("off-grid warm start %+v, full grid %+v", pf, pa)
+	}
+}
+
+// TestPredictDoesNotAllocate pins the allocation-free Predict hot path.
+func TestPredictDoesNotAllocate(t *testing.T) {
+	x, y := randomData(50, 4, 2)
+	g, err := FitAuto(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.3, 0.4, 0.5, 0.6}
+	g.Predict(q) // warm the pool
+	if n := testing.AllocsPerRun(200, func() { g.Predict(q) }); n > 0 {
+		t.Fatalf("Predict allocates %.1f objects per call", n)
+	}
+}
+
+// TestConcurrentPredictIsDeterministic hammers one GP from several
+// goroutines and checks every prediction matches the serial value.
+func TestConcurrentPredictIsDeterministic(t *testing.T) {
+	x, y := randomData(60, 4, 8)
+	g, err := FitAuto(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 64)
+	wantM := make([]float64, len(queries))
+	wantV := make([]float64, len(queries))
+	rng := rand.New(rand.NewSource(4))
+	for i := range queries {
+		queries[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		wantM[i], wantV[i] = g.Predict(queries[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				m, v := g.Predict(q)
+				if m != wantM[i] || v != wantV[i] {
+					panic("concurrent Predict diverged")
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

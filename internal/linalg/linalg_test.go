@@ -176,3 +176,250 @@ func TestClone(t *testing.T) {
 		t.Error("Clone aliases the original")
 	}
 }
+
+// naiveTryCholesky is the textbook row-by-row factorization the blocked
+// implementation must match bit-for-bit. It mirrors the pre-blocking
+// production code exactly.
+func naiveTryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}
+
+// naiveCholesky runs the same jitter ladder as Cholesky over the naive
+// factorization.
+func naiveCholesky(a *Matrix) (*Matrix, float64, error) {
+	jitter := 0.0
+	for {
+		if l, ok := naiveTryCholesky(a, jitter); ok {
+			return l, jitter, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 10
+		}
+		if jitter > 1e-3 {
+			return nil, 0, ErrNotPD
+		}
+	}
+}
+
+// TestBlockedMatchesNaiveBitwise asserts the blocked factorization equals
+// the naive one exactly — not within a tolerance — on random SPD matrices
+// spanning sizes below, at, and above the panel width.
+func TestBlockedMatchesNaiveBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 17, cholBlock - 1, cholBlock, cholBlock + 1, 100, 2*cholBlock + 9} {
+		a := randomSPD(n, rng)
+		got, gotJitter, err := CholeskyWithJitter(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, wantJitter, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d naive: %v", n, err)
+		}
+		if gotJitter != wantJitter {
+			t.Fatalf("n=%d: jitter %g, naive %g", n, gotJitter, wantJitter)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d: element %d = %v, naive %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestBlockedMatchesNaiveJitterPath drives the retry ladder with a
+// singular PSD matrix (rank-deficient Gram matrix) and checks the blocked
+// code lands on the same jitter and the same bits as the naive ladder.
+func TestBlockedMatchesNaiveJitterPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{4, 40, cholBlock + 5} {
+		// b is n×(n/2), so a = b·bᵀ has rank ≤ n/2 < n: PSD but singular.
+		r := n / 2
+		b := New(n, r)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k < r; k++ {
+					sum += b.At(i, k) * b.At(j, k)
+				}
+				a.Set(i, j, sum)
+			}
+		}
+		got, gotJitter, err := CholeskyWithJitter(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if gotJitter == 0 {
+			t.Fatalf("n=%d: expected the jitter ladder to engage", n)
+		}
+		want, wantJitter, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d naive: %v", n, err)
+		}
+		if gotJitter != wantJitter {
+			t.Fatalf("n=%d: jitter %g, naive %g", n, gotJitter, wantJitter)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d: element %d = %v, naive %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestCholeskyExtendBitIdentical grows a factor one row at a time and
+// checks each step equals a from-scratch factorization of the bordered
+// matrix, bit for bit.
+func TestCholeskyExtendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	full := randomSPD(90, rng)
+	sub := func(n int) *Matrix {
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			copy(a.Data[i*n:i*n+n], full.Data[i*full.Cols:i*full.Cols+n])
+		}
+		return a
+	}
+	l, jitter, err := CholeskyWithJitter(sub(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 10; n < 90; n++ {
+		k := make([]float64, n)
+		for i := 0; i < n; i++ {
+			k[i] = full.At(n, i)
+		}
+		ext, err := CholeskyExtend(l, k, full.At(n, n), jitter)
+		if err != nil {
+			t.Fatalf("extend to %d: %v", n+1, err)
+		}
+		want := New(n+1, n+1)
+		if err := CholeskyFixedInto(want, sub(n+1), jitter); err != nil {
+			t.Fatalf("refactor at %d: %v", n+1, err)
+		}
+		for i := range want.Data {
+			if ext.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d: element %d = %v, refactor %v", n+1, i, ext.Data[i], want.Data[i])
+			}
+		}
+		l = ext
+	}
+}
+
+// TestCholeskyUpdateProperty checks the rank-1 update against a refactored
+// A + v·vᵀ within 1e-10 on random SPD matrices.
+func TestCholeskyUpdateProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(n, rng)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		if err := CholeskyUpdate(l, v); err != nil {
+			return false
+		}
+		// Compare against factoring A + v·vᵀ directly.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, a.At(i, j)+v[i]*v[j])
+			}
+		}
+		want, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(l.At(i, j)-want.At(i, j)) > 1e-10*(1+math.Abs(want.At(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveIntoVariants checks the into-buffer solves match the allocating
+// ones exactly, including when the output aliases the right-hand side.
+func TestSolveIntoVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 33
+	a := randomSPD(n, rng)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := CholeskySolve(l, b)
+
+	x := make([]float64, n)
+	CholeskySolveInto(l, b, x)
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("CholeskySolveInto[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	aliased := append([]float64(nil), b...)
+	CholeskySolveInto(l, aliased, aliased)
+	for i := range want {
+		if aliased[i] != want[i] {
+			t.Fatalf("aliased CholeskySolveInto[%d] = %v, want %v", i, aliased[i], want[i])
+		}
+	}
+
+	fwdWant := SolveLower(l, b)
+	fwd := append([]float64(nil), b...)
+	SolveLowerInto(l, fwd, fwd)
+	for i := range fwdWant {
+		if fwd[i] != fwdWant[i] {
+			t.Fatalf("aliased SolveLowerInto[%d] = %v, want %v", i, fwd[i], fwdWant[i])
+		}
+	}
+	bwdWant := SolveLowerT(l, b)
+	bwd := append([]float64(nil), b...)
+	SolveLowerTInto(l, bwd, bwd)
+	for i := range bwdWant {
+		if bwd[i] != bwdWant[i] {
+			t.Fatalf("aliased SolveLowerTInto[%d] = %v, want %v", i, bwd[i], bwdWant[i])
+		}
+	}
+}

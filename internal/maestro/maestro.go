@@ -196,10 +196,13 @@ func (e Engine) Explain(c hw.Spatial, m mapping.Spatial, l workload.Layer) (Repo
 			int(2*(inTile+wTile+outTile)), c.L1Bytes)
 	}
 
-	// Spatial extents and per-dimension trip counts.
-	bounds := map[mapping.Dim]int{
-		mapping.DimK: l.K, mapping.DimC: l.C, mapping.DimY: l.Y, mapping.DimX: l.X,
-	}
+	// Spatial extents and per-dimension trip counts. Dim-indexed arrays, not
+	// maps: Explain runs ~10⁵ times per search iteration, and the map
+	// allocations plus hashed lookups were a top profile entry. The loops
+	// below iterate dimensions and operands in fixed declaration order; every
+	// summed term is an exactly-represented integer-valued float64, so the
+	// totals match the previous map-ordered accumulation bit-for-bit.
+	bounds := [4]int{mapping.DimK: l.K, mapping.DimC: l.C, mapping.DimY: l.Y, mapping.DimX: l.X}
 	if depthwise {
 		bounds[mapping.DimC] = 1
 	}
@@ -214,8 +217,7 @@ func (e Engine) Explain(c hw.Spatial, m mapping.Spatial, l workload.Layer) (Repo
 	}
 	// tileTrips is the number of per-PE tiles along d; temporalTrips folds
 	// the spatial extent in (tiles executed concurrently across the array).
-	tileTrips := map[mapping.Dim]float64{}
-	temporalTrips := map[mapping.Dim]float64{}
+	var tileTrips, temporalTrips [4]float64
 	for _, d := range mapping.AllDims {
 		tt := math.Ceil(float64(bounds[d]) / float64(m.Tile(d)))
 		tileTrips[d] = tt
@@ -267,7 +269,7 @@ func (e Engine) Explain(c hw.Spatial, m mapping.Spatial, l workload.Layer) (Repo
 	}
 
 	// Operand footprints (full layer).
-	footprint := map[operand]float64{
+	footprint := [3]float64{
 		opInput:  float64(l.InputBytes()),
 		opWeight: float64(l.WeightBytes()),
 		opOutput: float64(l.OutputBytes()),
@@ -277,7 +279,9 @@ func (e Engine) Explain(c hw.Spatial, m mapping.Spatial, l workload.Layer) (Repo
 	// every loop, except loops it does not depend on once the dataflow pins
 	// it: weight-stationary pins weights, output-stationary pins outputs.
 	nocBytes := 0.0
-	for p, tile := range map[operand]float64{opInput: inTile, opWeight: wTile, opOutput: outTile} {
+	tiles := [3]float64{opInput: inTile, opWeight: wTile, opOutput: outTile}
+	for p := opInput; p <= opOutput; p++ {
+		tile := tiles[p]
 		trips := float64(l.N)
 		for _, d := range mapping.AllDims {
 			dep := depends(p, d, depthwise)
@@ -320,7 +324,8 @@ func (e Engine) Explain(c hw.Spatial, m mapping.Spatial, l workload.Layer) (Repo
 		return math.Ceil(float64(bounds[d]) / span)
 	}
 	dramBytes := 0.0
-	for p, fp := range footprint {
+	for p := opInput; p <= opOutput; p++ {
+		fp := footprint[p]
 		resident := fp
 		if p == opOutput {
 			resident *= 2

@@ -13,6 +13,7 @@ package mapping
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"unico/internal/workload"
 )
@@ -164,32 +165,50 @@ func (m Spatial) Valid(l workload.Layer) bool {
 		m.SpatY >= 0 && m.SpatY <= DimX
 }
 
-// dimBounds returns the loop bound of each tileable dimension for the layer.
-func dimBounds(l workload.Layer) map[Dim]int {
-	return map[Dim]int{DimK: l.K, DimC: l.C, DimY: l.Y, DimX: l.X}
+// dimBounds returns the loop bound of each tileable dimension for the
+// layer, indexed by Dim. An array rather than a map: this sits under every
+// Canon/Mutate call on the mapping-search hot path, and the map allocation
+// plus hashed lookups dominated the profile.
+func dimBounds(l workload.Layer) [4]int {
+	return [4]int{DimK: l.K, DimC: l.C, DimY: l.Y, DimX: l.X}
 }
+
+// ladderCache memoizes tileLadder per bound. Layer bounds repeat across the
+// millions of mutation steps of a search, and rebuilding the ladder (with
+// its dedup set) on every step was a top allocation site. Cached slices are
+// shared — callers must treat them as read-only.
+var ladderCache sync.Map // int -> []int
 
 // tileLadder returns the candidate tile sizes for a loop of the given bound:
 // the {2^i, 3*2^i} ladder clipped to the bound, plus the bound itself. This
-// mirrors the split-factor candidates FlexTensor enumerates.
+// mirrors the split-factor candidates FlexTensor enumerates. The returned
+// slice is shared and must not be modified.
 func tileLadder(bound int) []int {
 	if bound < 1 {
-		return []int{1}
+		bound = 0
 	}
-	seen := map[int]bool{}
+	if v, ok := ladderCache.Load(bound); ok {
+		return v.([]int)
+	}
 	var vals []int
-	add := func(v int) {
-		if v >= 1 && v <= bound && !seen[v] {
-			seen[v] = true
-			vals = append(vals, v)
+	if bound < 1 {
+		vals = []int{1}
+	} else {
+		seen := map[int]bool{}
+		add := func(v int) {
+			if v >= 1 && v <= bound && !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
 		}
+		for p := 1; p <= bound; p *= 2 {
+			add(p)
+			add(3 * p)
+		}
+		add(bound)
 	}
-	for p := 1; p <= bound; p *= 2 {
-		add(p)
-		add(3 * p)
-	}
-	add(bound)
-	return vals
+	actual, _ := ladderCache.LoadOrStore(bound, vals)
+	return actual.([]int)
 }
 
 // RandomSpatial draws a uniformly random well-formed schedule for the layer.

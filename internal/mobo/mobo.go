@@ -8,6 +8,31 @@
 // The optimizer minimizes every objective. Objectives are modeled in log
 // space (they are positive and span orders of magnitude) and normalized to
 // [0,1] for scalarization.
+//
+// # Warm-started surrogates
+//
+// Update refits the per-objective GPs incrementally when it can: newly
+// admitted observations extend the existing factors in O(n²)
+// (gp.GP.Extend), and a full hyperparameter re-selection — warm-started at
+// the previous optimum via gp.FitAutoFrom — runs only every
+// Config.RefitEvery updates, when the per-point log marginal likelihood
+// degrades past a tolerance, or when eviction rewrote the training set.
+// The exported State carries each surrogate's hyperparameters, jitter and
+// refit reference, so a checkpoint restore rebuilds bit-identical GPs with
+// gp.FitWithParams instead of re-running (and possibly re-deciding) the
+// grid search.
+//
+// # Parallel acquisition, deterministic results
+//
+// SuggestBatch scores its candidate pool and refines its incumbent chains
+// on a bounded worker pool (Config.SearchWorkers, internal/parpool). The
+// result is bit-identical for every worker count: all draws from the
+// optimizer's counted RNG happen serially before the fan-out (the pool
+// samples, plus one seed per refinement chain), workers write scores into
+// slots indexed by candidate, chains use private RNGs built from their
+// pre-drawn seeds, and the merge scans slots in index order with
+// strictly-lower-wins ties. The optimizer's RNG is consumed only inside
+// SuggestBatch, never in Update — the checkpoint/resume contract.
 package mobo
 
 import (
@@ -17,6 +42,7 @@ import (
 	"sort"
 
 	"unico/internal/gp"
+	"unico/internal/parpool"
 	"unico/internal/perfprof"
 	"unico/internal/telemetry"
 )
@@ -82,6 +108,18 @@ type Config struct {
 	// non-elite points are evicted (cubic-cost Gaussian processes need a
 	// sliding window on long runs).
 	MaxTrain int
+	// RefitEvery is the hyperparameter re-selection cadence: a full
+	// (warm-started) grid search runs every RefitEvery surrogate updates;
+	// in between, new observations extend the fitted GPs incrementally.
+	// 1 disables warm-starting (every update is a full refit); 0 means the
+	// default (5). Marginal-likelihood degradation or training-set
+	// eviction forces an early refit regardless.
+	RefitEvery int
+	// SearchWorkers bounds the goroutines scoring acquisition candidates in
+	// SuggestBatch. Results are bit-identical for every value; <= 1 runs
+	// serially. It deliberately stays out of the core run fingerprint so
+	// checkpoints resume across different worker counts.
+	SearchWorkers int
 }
 
 // DefaultConfig returns the paper's settings for nObj objectives with equal
@@ -99,6 +137,7 @@ func DefaultConfig(nObj int) Config {
 		PoolSize:    256,
 		Explore:     1.0,
 		MaxTrain:    150,
+		RefitEvery:  5,
 	}
 }
 
@@ -118,6 +157,12 @@ type Optimizer struct {
 	seen  map[string]bool
 
 	gps []*gp.GP
+	// refLML is the per-point log marginal likelihood of each objective's
+	// surrogate at its last full (re)fit — the reference the incremental
+	// path checks for degradation. sinceRefit counts surrogate updates
+	// since that refit.
+	refLML     []float64
+	sinceRefit int
 
 	// High-fidelity update state.
 	vBest float64
@@ -144,6 +189,12 @@ func New(space Space, cfg Config, seed int64) *Optimizer {
 	}
 	if cfg.MaxTrain <= 0 {
 		cfg.MaxTrain = 150
+	}
+	if cfg.RefitEvery <= 0 {
+		cfg.RefitEvery = 5
+	}
+	if cfg.SearchWorkers <= 0 {
+		cfg.SearchWorkers = 1
 	}
 	nObj := len(cfg.Weights)
 	src := newCountingSource(seed)
@@ -218,38 +269,96 @@ func (o *Optimizer) randomSimplex() []float64 {
 	return w
 }
 
+// acqChains is the number of incumbent refinement chains per acquisition
+// maximization, and acqSteps the hill-climb length of each.
+const (
+	acqChains = 3
+	acqSteps  = 16
+)
+
 // maximizeAcquisition searches the candidate pool plus local neighbourhoods
 // of the incumbents for the point with the best (lowest) scalarized
 // lower-confidence bound under the weights lambda.
+//
+// The search fans out over Config.SearchWorkers goroutines yet is
+// bit-identical for every worker count: every draw from the optimizer's
+// counted RNG happens up front on the calling goroutine (fallback sample,
+// pool samples, one seed per chain — a fixed number of draws), workers
+// score candidates into slots indexed by candidate, each chain hill-climbs
+// with a private RNG seeded from its pre-drawn seed, and the serial merge
+// scans slots in index order accepting only strictly better scores — the
+// same tie-break the serial loop applied.
 func (o *Optimizer) maximizeAcquisition(lambda []float64, exclude map[string]bool) []float64 {
+	// Serial phase: all counted-RNG draws, in a schedule-independent order.
 	best := o.space.Sample(o.rng)
-	bestA := math.Inf(1)
-	consider := func(x []float64) {
-		if exclude[o.space.Key(x)] || o.seen[o.space.Key(x)] {
+	pool := make([][]float64, o.cfg.PoolSize)
+	for i := range pool {
+		pool[i] = o.space.Sample(o.rng)
+	}
+	incumbents := o.topTrain(acqChains, lambda)
+	seeds := make([]int64, len(incumbents))
+	for i := range seeds {
+		seeds[i] = o.rng.Int63()
+	}
+
+	// Parallel phase 1: score the pool into indexed slots.
+	scores := make([]float64, len(pool))
+	sp := perfprof.Begin("mobo.acq_pool")
+	parpool.ForEach(o.cfg.SearchWorkers, len(pool), func(i int) {
+		if o.excluded(pool[i], exclude) {
+			scores[i] = math.Inf(1)
 			return
 		}
-		a := o.acquisition(x, lambda)
+		scores[i] = o.acquisition(pool[i], lambda)
+	})
+	sp.End()
+	bestA := math.Inf(1)
+	for i, a := range scores {
 		if a < bestA {
-			best, bestA = x, a
+			best, bestA = pool[i], a
 		}
 	}
-	for i := 0; i < o.cfg.PoolSize; i++ {
-		consider(o.space.Sample(o.rng))
+
+	// Parallel phase 2: local refinement around the best training points
+	// under this lambda, one chain per incumbent, each on a private RNG.
+	type chainBest struct {
+		x []float64
+		a float64
 	}
-	// Local refinement around the best training points under this lambda.
-	incumbents := o.topTrain(3, lambda)
-	for _, inc := range incumbents {
-		x := inc
+	chains := make([]chainBest, len(incumbents))
+	sp = perfprof.Begin("mobo.acq_refine")
+	parpool.ForEach(o.cfg.SearchWorkers, len(incumbents), func(c int) {
+		crng := rand.New(rand.NewSource(seeds[c]))
+		x := incumbents[c]
 		ax := o.acquisition(x, lambda)
-		for step := 0; step < 16; step++ {
-			y := o.space.Neighbor(x, o.rng)
-			consider(y)
-			if ay := o.acquisition(y, lambda); ay < ax {
+		cb := chainBest{a: math.Inf(1)}
+		for step := 0; step < acqSteps; step++ {
+			y := o.space.Neighbor(x, crng)
+			ay := o.acquisition(y, lambda)
+			if ay < cb.a && !o.excluded(y, exclude) {
+				cb = chainBest{x: y, a: ay}
+			}
+			if ay < ax {
 				x, ax = y, ay
 			}
 		}
+		chains[c] = cb
+	})
+	sp.End()
+	for _, cb := range chains {
+		if cb.a < bestA {
+			best, bestA = cb.x, cb.a
+		}
 	}
 	return best
+}
+
+// excluded reports whether x is already evaluated or already in the batch
+// being assembled. Safe for concurrent use while the maps are read-only
+// (during maximizeAcquisition's fan-out).
+func (o *Optimizer) excluded(x []float64, exclude map[string]bool) bool {
+	k := o.space.Key(x)
+	return exclude[k] || o.seen[k]
 }
 
 // acquisition is the scalarized lower-confidence bound: scalarize the
@@ -399,8 +508,8 @@ func (o *Optimizer) Update(batch []Observation) int {
 		admitted = o.highFidelitySelect(batch)
 	}
 	o.train = append(o.train, admitted...)
-	o.evictStale()
-	o.fit()
+	evicted := o.evictStale()
+	o.refit(len(admitted), evicted)
 	telemetry.MOBOAdmitted().Add(uint64(len(admitted)))
 	telemetry.MOBOTrainSize().Set(float64(len(o.train)))
 	telemetry.MOBOUUL().Set(o.uul)
@@ -409,11 +518,12 @@ func (o *Optimizer) Update(batch []Observation) int {
 
 // evictStale trims the training set to MaxTrain points, keeping the best
 // quarter by ParEGO scalar (the elites anchoring the optimum region) and
-// the most recent remainder.
-func (o *Optimizer) evictStale() {
+// the most recent remainder. It reports whether the set changed (which
+// invalidates the fitted surrogates for incremental extension).
+func (o *Optimizer) evictStale() bool {
 	max := o.cfg.MaxTrain
 	if len(o.train) <= max {
-		return
+		return false
 	}
 	elite := max / 4
 	idx := make([]int, len(o.train))
@@ -438,6 +548,7 @@ func (o *Optimizer) evictStale() {
 		}
 	}
 	o.train = next
+	return true
 }
 
 // highFidelitySelect implements the High Fidelity Update Rule of Section 3.2:
@@ -501,14 +612,80 @@ func (o *Optimizer) refreshBounds() {
 	}
 }
 
-// fit refits one GP per objective on the training set (log objectives).
-func (o *Optimizer) fit() {
+// lmlDegradeTol is the per-point log-marginal-likelihood drop (in nats)
+// the incremental path tolerates before forcing a full hyperparameter
+// refit.
+const lmlDegradeTol = 0.5
+
+// refit brings the surrogates up to date after Update appended `added`
+// training points. The cheap path extends the fitted GPs in O(n²) per
+// point; a full warm-started grid search runs on the RefitEvery cadence,
+// on marginal-likelihood degradation, after eviction, or whenever there is
+// no fitted model to extend. Neither path draws from the optimizer's RNG.
+func (o *Optimizer) refit(added int, evicted bool) {
 	if len(o.train) < 3 {
-		o.gps = nil
+		o.clearSurrogates()
+		return
+	}
+	if o.gps == nil || evicted || o.sinceRefit+1 >= o.cfg.RefitEvery {
+		o.fitFull(o.warmParams())
+		return
+	}
+	for j, g := range o.gps {
+		for _, ob := range o.train[len(o.train)-added:] {
+			if err := g.Extend(ob.X, logc(ob.Y[j])); err != nil {
+				// A failed extend leaves some GPs ahead of others; the
+				// full refit below rebuilds every objective from o.train,
+				// so the partial state never escapes.
+				o.fitFull(o.warmParams())
+				return
+			}
+		}
+	}
+	for j, g := range o.gps {
+		if g.LogMarginalLikelihood()/float64(g.N()) < o.refLML[j]-lmlDegradeTol {
+			o.fitFull(o.warmParams())
+			return
+		}
+	}
+	o.sinceRefit++
+}
+
+// warmParams collects the fitted surrogates' hyperparameters to warm-start
+// the next grid search, or nil when there is nothing to warm-start from.
+func (o *Optimizer) warmParams() []gp.Params {
+	if o.gps == nil {
+		return nil
+	}
+	out := make([]gp.Params, len(o.gps))
+	for j, g := range o.gps {
+		p, ok := g.Params()
+		if !ok {
+			return nil
+		}
+		out[j] = p
+	}
+	return out
+}
+
+func (o *Optimizer) clearSurrogates() {
+	o.gps, o.refLML, o.sinceRefit = nil, nil, 0
+}
+
+// fit refits one GP per objective on the training set from scratch
+// (Restore's fallback and the cold-start path).
+func (o *Optimizer) fit() { o.fitFull(nil) }
+
+// fitFull runs the full per-objective hyperparameter selection, seeded at
+// warm (one Params per objective) when non-nil.
+func (o *Optimizer) fitFull(warm []gp.Params) {
+	if len(o.train) < 3 {
+		o.clearSurrogates()
 		return
 	}
 	n := o.NumObjectives()
 	gps := make([]*gp.GP, n)
+	refLML := make([]float64, n)
 	for j := 0; j < n; j++ {
 		xs := make([][]float64, len(o.train))
 		ys := make([]float64, len(o.train))
@@ -516,14 +693,19 @@ func (o *Optimizer) fit() {
 			xs[i] = ob.X
 			ys[i] = logc(ob.Y[j])
 		}
-		g, err := gp.FitAuto(xs, ys)
+		var prev *gp.Params
+		if warm != nil {
+			prev = &warm[j]
+		}
+		g, err := gp.FitAutoFrom(xs, ys, prev)
 		if err != nil {
-			o.gps = nil
+			o.clearSurrogates()
 			return
 		}
 		gps[j] = g
+		refLML[j] = g.LogMarginalLikelihood() / float64(g.N())
 	}
-	o.gps = gps
+	o.gps, o.refLML, o.sinceRefit = gps, refLML, 0
 }
 
 // percentile returns the q-quantile of v by nearest-rank on a sorted copy.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"unico/internal/gp"
 )
 
 // countingSource wraps the optimizer's random source and counts how many
@@ -101,11 +103,27 @@ func (f *ExtFloat) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// SurrogateState pins one objective's fitted surrogate: the
+// hyperparameters and jitter that rebuild its factor bit-identically via
+// gp.FitWithParams, plus the per-point marginal-likelihood reference the
+// warm-start cadence compares against.
+type SurrogateState struct {
+	Lengthscale float64 `json:"lengthscale"`
+	Variance    float64 `json:"variance"`
+	Noise       float64 `json:"noise"`
+	Jitter      float64 `json:"jitter"`
+	RefLML      float64 `json:"ref_lml"`
+}
+
 // State is the serializable state of an Optimizer: everything Restore needs
 // to rebuild an explorer that behaves bit-identically to the original. The
-// Gaussian processes, duplicate-suppression set and normalization bounds are
-// not stored — they are deterministic functions of the observation lists and
-// are recomputed on restore.
+// duplicate-suppression set and normalization bounds are not stored — they
+// are deterministic functions of the observation lists and are recomputed
+// on restore. The Gaussian processes are rebuilt from Surrogates: a live
+// optimizer's GPs are not in general the output of a fresh grid search on
+// the current training set (hyperparameters warm-start and factors extend
+// incrementally), so the state pins each surrogate's parameters instead of
+// re-deciding them.
 type State struct {
 	// Seed is the seed the optimizer was built with.
 	Seed int64 `json:"seed"`
@@ -121,20 +139,40 @@ type State struct {
 	DSet []float64 `json:"d_set"`
 	// UUL is the current Upper Update Limit.
 	UUL ExtFloat `json:"uul"`
+	// Surrogates pins each objective's fitted GP (nil when the optimizer
+	// held no fitted model at export time).
+	Surrogates []SurrogateState `json:"surrogates,omitempty"`
+	// SinceRefit counts surrogate updates since the last full refit.
+	SinceRefit int `json:"since_refit,omitempty"`
 }
 
 // Export captures the optimizer's state for checkpointing. The returned
 // State aliases no optimizer-internal memory.
 func (o *Optimizer) Export() State {
-	return State{
-		Seed:   o.seed,
-		RNGPos: o.src.pos,
-		Train:  cloneObservations(o.train),
-		All:    cloneObservations(o.all),
-		VBest:  ExtFloat(o.vBest),
-		DSet:   append([]float64(nil), o.dSet...),
-		UUL:    ExtFloat(o.uul),
+	st := State{
+		Seed:       o.seed,
+		RNGPos:     o.src.pos,
+		Train:      cloneObservations(o.train),
+		All:        cloneObservations(o.all),
+		VBest:      ExtFloat(o.vBest),
+		DSet:       append([]float64(nil), o.dSet...),
+		UUL:        ExtFloat(o.uul),
+		SinceRefit: o.sinceRefit,
 	}
+	if o.gps != nil {
+		st.Surrogates = make([]SurrogateState, len(o.gps))
+		for j, g := range o.gps {
+			p, _ := g.Params()
+			st.Surrogates[j] = SurrogateState{
+				Lengthscale: p.Lengthscale,
+				Variance:    p.Variance,
+				Noise:       p.Noise,
+				Jitter:      g.Jitter(),
+				RefLML:      o.refLML[j],
+			}
+		}
+	}
+	return st
 }
 
 // Restore rebuilds an optimizer from an exported State. space and cfg must
@@ -165,7 +203,35 @@ func Restore(space Space, cfg Config, st State) (*Optimizer, error) {
 	if len(o.all) > 0 {
 		o.refreshBounds()
 	}
-	o.fit()
+	if len(st.Surrogates) > 0 {
+		// Rebuild the pinned surrogates exactly: a live optimizer's GPs
+		// may have warm-started hyperparameters and incrementally extended
+		// factors, which a fresh grid search would not reproduce.
+		if len(st.Surrogates) != n {
+			return nil, fmt.Errorf("mobo: restore: %d surrogates, config wants %d objectives", len(st.Surrogates), n)
+		}
+		gps := make([]*gp.GP, n)
+		refLML := make([]float64, n)
+		for j, ss := range st.Surrogates {
+			xs := make([][]float64, len(o.train))
+			ys := make([]float64, len(o.train))
+			for i, ob := range o.train {
+				xs[i] = ob.X
+				ys[i] = logc(ob.Y[j])
+			}
+			p := gp.Params{Lengthscale: ss.Lengthscale, Variance: ss.Variance, Noise: ss.Noise}
+			g, err := gp.FitWithParams(xs, ys, p, ss.Jitter)
+			if err != nil {
+				return nil, fmt.Errorf("mobo: restore: rebuild surrogate %d: %w", j, err)
+			}
+			gps[j] = g
+			refLML[j] = ss.RefLML
+		}
+		o.gps, o.refLML, o.sinceRefit = gps, refLML, st.SinceRefit
+	} else {
+		// Legacy state (or a cold optimizer): fall back to a fresh fit.
+		o.fit()
+	}
 	if err := o.SeekRNG(st.RNGPos); err != nil {
 		return nil, err
 	}

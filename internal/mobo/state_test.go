@@ -105,3 +105,69 @@ func TestSeekRNGBackwardsFails(t *testing.T) {
 		t.Fatal("backwards seek succeeded")
 	}
 }
+
+// TestSuggestBatchIdenticalAcrossWorkers is the package-level half of the
+// serial-vs-parallel guarantee: every SearchWorkers value must produce
+// bit-identical suggestions, updates and RNG positions.
+func TestSuggestBatchIdenticalAcrossWorkers(t *testing.T) {
+	const nObj, batch = 3, 8
+	run := func(workers int) ([][][]float64, uint64) {
+		cfg := DefaultConfig(nObj)
+		cfg.SearchWorkers = workers
+		o := New(testSpace(), cfg, 99)
+		got := drive(o, 6, batch, nObj)
+		return got, o.RNGPos()
+	}
+	want, wantPos := run(1)
+	for _, workers := range []int{2, 8, 32} {
+		got, pos := run(workers)
+		if pos != wantPos {
+			t.Fatalf("workers=%d: RNG position %d, serial %d", workers, pos, wantPos)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: suggestions diverged from serial", workers)
+		}
+	}
+}
+
+// TestWarmRefitCadence checks the incremental path actually runs between
+// full refits and the cadence forces periodic re-selection.
+func TestWarmRefitCadence(t *testing.T) {
+	const nObj, batch = 2, 6
+	cfg := DefaultConfig(nObj)
+	cfg.RefitEvery = 3
+	o := New(testSpace(), cfg, 7)
+	sawExtend := false
+	sawReset := false
+	prev := 0
+	for i := 0; i < 8; i++ {
+		drive(o, 1, batch, nObj)
+		if o.gps == nil {
+			continue
+		}
+		if o.sinceRefit > prev {
+			sawExtend = true
+		}
+		if o.sinceRefit == 0 && prev > 0 {
+			sawReset = true
+		}
+		if o.sinceRefit >= cfg.RefitEvery {
+			t.Fatalf("sinceRefit %d exceeded RefitEvery %d", o.sinceRefit, cfg.RefitEvery)
+		}
+		prev = o.sinceRefit
+	}
+	if !sawExtend {
+		t.Error("incremental extend path never ran")
+	}
+	if !sawReset {
+		t.Error("cadence never forced a full refit")
+	}
+	// RefitEvery=1 must disable the incremental path entirely.
+	cfg1 := DefaultConfig(nObj)
+	cfg1.RefitEvery = 1
+	o1 := New(testSpace(), cfg1, 7)
+	drive(o1, 5, batch, nObj)
+	if o1.gps != nil && o1.sinceRefit != 0 {
+		t.Errorf("RefitEvery=1: sinceRefit = %d, want 0", o1.sinceRefit)
+	}
+}

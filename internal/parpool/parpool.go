@@ -1,0 +1,53 @@
+// Package parpool provides the bounded worker pool the search inner loops
+// share (MSH rung advancement in internal/sh, acquisition scalarization in
+// internal/mobo).
+//
+// The pool's determinism contract: ForEach runs fn(i) exactly once for
+// every index, fn writes its result to a slot owned by its index (never to
+// shared accumulators), and the caller merges the slots serially in index
+// order afterwards. Work distribution uses an atomic counter, so *which*
+// goroutine runs an index and in what order is scheduling-dependent — but
+// because results land in indexed slots and any randomness is drawn from
+// per-index seeded RNGs (or drawn serially before the fan-out), the merged
+// outcome is bit-identical for every worker count, including 1 (which runs
+// fn inline on the calling goroutine with no pool at all).
+package parpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), with at most workers
+// goroutines. workers <= 1 runs serially on the calling goroutine. fn must
+// confine its writes to state owned by index i.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -156,7 +156,7 @@ func (p *Profiler) startSpan(ctx context.Context, name string, c *simclock.Clock
 }
 
 // Begin opens a root-level phase span for call sites with no context to
-// thread (gp.Predict, mobo internals). Idiom: defer p.Begin("gp.predict").End()
+// thread (gp.Fit, mobo internals). Idiom: defer p.Begin("gp.fit").End()
 func (p *Profiler) Begin(name string) *Span {
 	_, s := p.startSpan(nil, name, nil)
 	return s

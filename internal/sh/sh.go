@@ -6,6 +6,16 @@
 //
 // Setting PFrac = 0 makes MSH degenerate to the default SH exactly, the
 // property paper Section 3.3 states and the tests verify.
+//
+// # Pool determinism
+//
+// Within a rung, alive candidates advance concurrently on the parpool
+// worker pool (bounded by Config.Workers). Each candidate's searcher is
+// touched by exactly one pool task and owns its own RNG stream, so a rung's
+// outcome — every history, every promotion decision — is bit-identical for
+// every worker count, including Workers=1 which runs inline with no pool at
+// all. Workers trades wall-clock time only; see parpool's package doc for
+// the contract the advance loop relies on.
 package sh
 
 import (
@@ -13,9 +23,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"unico/internal/mapsearch"
+	"unico/internal/parpool"
 	"unico/internal/perfprof"
 	"unico/internal/ppa"
 	"unico/internal/simclock"
@@ -129,11 +139,12 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 		target := cumBudget[r]
 		simStart := simNow(cfg.Clock)
 		rctx, rungSpan := perfprof.StartClocked(ctx, "sh.rung", cfg.Clock)
-		// Advance all alive candidates to the round's cumulative budget, in
-		// parallel; charge the makespan to the simulated clock.
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Workers)
+		// Advance all alive candidates to the round's cumulative budget on
+		// the bounded worker pool; charge the makespan to the simulated
+		// clock. Each worker touches only its own candidate's searcher, so
+		// results are independent of the worker count and schedule.
 		advanced := make([]int, 0, len(alive))
+		deltas := make([]int, 0, len(alive))
 		preSpent := make(map[int]int, len(alive))
 		for _, ji := range alive {
 			d := target - jobs[ji].Spent()
@@ -142,15 +153,11 @@ func Run(ctx context.Context, jobs []mapsearch.Searcher, cfg Config) Outcome {
 			}
 			preSpent[ji] = jobs[ji].Spent()
 			advanced = append(advanced, ji)
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(j mapsearch.Searcher, d int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				mapsearch.AdvanceSearcher(rctx, j, d)
-			}(jobs[ji], d)
+			deltas = append(deltas, d)
 		}
-		wg.Wait()
+		parpool.ForEach(cfg.Workers, len(advanced), func(i int) {
+			mapsearch.AdvanceSearcher(rctx, jobs[advanced[i]], deltas[i])
+		})
 		// Count what the jobs actually spent, not what was requested: a dead
 		// remote job never advances, and charging its planned budget would
 		// inflate TotalEvals and the simulated clock with phantom work.

@@ -96,6 +96,21 @@ func GPFits() *Counter {
 }
 
 var (
+	gpExtendsOnce sync.Once
+	gpExtends     *Counter
+)
+
+// GPExtends counts incremental Gaussian-process surrogate extends — the
+// one-observation Cholesky-border updates that replaced a full refit.
+func GPExtends() *Counter {
+	gpExtendsOnce.Do(func() {
+		gpExtends = DefaultRegistry.Counter("unico_gp_extends_total",
+			"Incremental Gaussian-process surrogate extends.", nil)
+	})
+	return gpExtends
+}
+
+var (
 	moboItersOnce sync.Once
 	moboIters     *Counter
 )

@@ -242,6 +242,12 @@ type Config struct {
 	// Workers bounds parallel mapping-search jobs (default 8; the
 	// HASCO-like method is sequential by definition).
 	Workers int
+	// SearchWorkers bounds the parallel acquisition scalarizations inside
+	// each surrogate suggestion step (default 8; applies to UNICO, HASCO
+	// and MOBO-HB). Unlike Workers it never enters the checkpoint
+	// fingerprint: results are bit-identical at every setting, so it is a
+	// pure wall-clock knob and may change across a kill/resume.
+	SearchWorkers int
 	// Seed makes the run deterministic (default 1).
 	Seed int64
 	// DisableRobustness drops the sensitivity objective R from UNICO.
@@ -329,6 +335,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 8
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = 8
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -515,6 +524,7 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		opt := core.UNICOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.UseRobustness = !cfg.DisableRobustness
 		opt.Workers = cfg.Workers
+		opt.SearchWorkers = cfg.SearchWorkers
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
@@ -526,6 +536,7 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 		res = core.RunContext(ctx, inner, opt)
 	case MethodHASCO:
 		opt := baselines.HASCOOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
+		opt.SearchWorkers = cfg.SearchWorkers
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
@@ -538,6 +549,7 @@ func OptimizeContext(ctx context.Context, p *Platform, cfg Config) (*Result, err
 	case MethodMOBOHB:
 		opt := baselines.MOBOHBOptions(cfg.BatchSize, cfg.Iterations, cfg.BudgetMax, cfg.Seed)
 		opt.Workers = cfg.Workers
+		opt.SearchWorkers = cfg.SearchWorkers
 		opt.Clock = clock
 		opt.TimeBudgetHours = cfg.TimeBudgetHours
 		opt.Tracer = tracer
