@@ -6,18 +6,34 @@
 //
 //	ppaserver -addr :8080
 //
+// With -shards it instead runs as a fleet router (internal/fleet): the
+// same API surface, but every request is consistent-hashed onto one of the
+// named ppaserver shards with per-shard admission control, load shedding
+// (429/503 + Retry-After), health-checked membership, and deterministic
+// job replay when a shard dies mid-search:
+//
+//	ppaserver -addr :8080 -shards http://h1:9301,http://h2:9301,http://h3:9301
+//
 // Endpoints:
 //
 //	POST   /v1/ppa           evaluate one (hardware, mapping, layer) triple
 //	POST   /v1/jobs          create a mapping-search job
 //	POST   /v1/jobs/advance  spend budget on a job
 //	DELETE /v1/jobs/{id}     release a finished job
-//	GET    /v1/healthz       liveness probe
+//	GET    /v1/healthz       liveness probe ("ok" or "draining")
+//	POST   /v1/drain         stop accepting new work, finish in-flight jobs
+//	POST   /v1/undrain       resume accepting new work
 //	GET    /metrics          Prometheus text-format metrics
 //	GET    /debug/vars       expvar JSON
 //	GET    /debug/pprof/     runtime profiles
 //	GET    /debug/unico/phases   phase-attribution breakdown (text or ?format=json)
 //	GET    /debug/unico/capture  write a pprof profile to -pprof-dir (?profile=cpu|heap)
+//
+// Router mode adds:
+//
+//	GET    /v1/fleet/members            per-shard state, queue depth, jobs
+//	POST   /v1/fleet/drain?shard=<id>   drain one shard (re-hash new work away)
+//	POST   /v1/fleet/undrain?shard=<id> return a drained shard to service
 //
 // Every request is access-logged with the originating client's run ID (the
 // X-Unico-Run-ID header internal/dist clients attach), so a worker log line
@@ -34,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +58,7 @@ import (
 	"unico/internal/camodel"
 	"unico/internal/dist"
 	"unico/internal/evalcache"
+	"unico/internal/fleet"
 	"unico/internal/logx"
 	"unico/internal/maestro"
 	"unico/internal/perfprof"
@@ -63,6 +81,24 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	pprofDir := flag.String("pprof-dir", "", "write run-ID-stamped pprof CPU/heap profiles to this directory (enables GET /debug/unico/capture)")
 	pprofInterval := flag.Duration("pprof-interval", 0, "capture a heap and CPU profile every interval while serving (requires -pprof-dir)")
+	shards := flag.String("shards", "",
+		"comma-separated shard base URLs; when set, run as a fleet router over these ppaserver shards instead of evaluating locally")
+	shardCapacity := flag.Int("shard-capacity", fleet.DefaultShardCapacity,
+		"router: concurrent requests forwarded to one shard before queueing")
+	shardQueue := flag.Int("shard-queue", fleet.DefaultShardQueue,
+		"router: queued requests per shard beyond -shard-capacity before shedding with 429")
+	retryAfter := flag.Duration("retry-after", fleet.DefaultRetryAfter,
+		"router: backoff advertised in Retry-After on shed responses")
+	failAfter := flag.Int("fail-after", fleet.DefaultFailAfter,
+		"router: consecutive failures before a shard is marked down and its keys re-hashed")
+	probeInterval := flag.Duration("probe-interval", fleet.DefaultProbeInterval,
+		"router: health-probe cadence")
+	probeTimeout := flag.Duration("probe-timeout", fleet.DefaultProbeTimeout,
+		"router: health-probe timeout")
+	forwardTimeout := flag.Duration("forward-timeout", fleet.DefaultForwardTimeout,
+		"router: per-forwarded-request timeout; must exceed the longest budget installment")
+	virtualNodes := flag.Int("virtual-nodes", fleet.DefaultVirtualNodes,
+		"router: hash-ring virtual nodes per shard")
 	flag.Parse()
 
 	logger, err := logx.Setup(*logFormat, *logLevel)
@@ -85,26 +121,60 @@ func main() {
 		}
 	}
 
-	server := dist.NewServer()
-	var cache *evalcache.Cache
-	if *useCache || *cacheSize > 0 || *cacheFile != "" {
-		cache = evalcache.New(*cacheSize)
-		if *cacheFile != "" {
-			n, err := cache.LoadFile(*cacheFile)
-			if err != nil {
-				logger.Error("cache warm-start failed", slog.Any("err", err))
-				os.Exit(1)
-			}
-			logger.Info("warm-started cache", slog.Int("entries", n), slog.String("file", *cacheFile))
+	var (
+		handler http.Handler
+		router  *fleet.Router
+		cache   *evalcache.Cache
+	)
+	if *shards != "" {
+		if *useCache || *cacheSize > 0 || *cacheFile != "" {
+			logger.Error("-cache/-cache-size/-cache-file apply to shards, not the router; set them on each ppaserver shard")
+			os.Exit(1)
 		}
-		server = dist.NewServerWith(
-			evalcache.Spatial{Inner: maestro.Engine{}, Cache: cache},
-			evalcache.Ascend{Inner: camodel.Engine{}, Cache: cache},
-		)
+		var list []string
+		for _, s := range strings.Split(*shards, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				list = append(list, strings.TrimRight(s, "/"))
+			}
+		}
+		router, err = fleet.NewRouter(list, fleet.Options{
+			ShardCapacity:  *shardCapacity,
+			ShardQueue:     *shardQueue,
+			RetryAfter:     *retryAfter,
+			FailAfter:      *failAfter,
+			ProbeInterval:  *probeInterval,
+			ProbeTimeout:   *probeTimeout,
+			ForwardTimeout: *forwardTimeout,
+			VirtualNodes:   *virtualNodes,
+		})
+		if err != nil {
+			logger.Error("router setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		logger.Info("fleet router mode", slog.Int("shards", len(list)))
+		handler = router.Handler()
+	} else {
+		server := dist.NewServer()
+		if *useCache || *cacheSize > 0 || *cacheFile != "" {
+			cache = evalcache.New(*cacheSize)
+			if *cacheFile != "" {
+				n, err := cache.LoadFile(*cacheFile)
+				if err != nil {
+					logger.Error("cache warm-start failed", slog.Any("err", err))
+					os.Exit(1)
+				}
+				logger.Info("warm-started cache", slog.Int("entries", n), slog.String("file", *cacheFile))
+			}
+			server = dist.NewServerWith(
+				evalcache.Spatial{Inner: maestro.Engine{}, Cache: cache},
+				evalcache.Ascend{Inner: camodel.Engine{}, Cache: cache},
+			)
+		}
+		handler = server.Handler()
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", logx.AccessLog(logger, server.Handler()))
+	mux.Handle("/", logx.AccessLog(logger, handler))
 	debug := telemetry.DebugMux(telemetry.DefaultRegistry)
 	mux.Handle("GET /metrics", debug)
 	mux.Handle("GET /debug/", debug)
@@ -122,6 +192,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if router != nil {
+		router.Start(ctx)
+	}
 
 	if capture != nil && *pprofInterval > 0 {
 		go capture.Every(ctx, *pprofInterval, func(err error) {

@@ -68,6 +68,7 @@ func main() {
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request timeout against remote workers (0 = 30s default)")
 		retries        = flag.Int("retries", 0, "retries for idempotent remote requests (exponential backoff with jitter)")
 		retryBackoff   = flag.Duration("retry-backoff", 0, "initial delay between remote retries (0 = 50ms default)")
+		maxBackoff     = flag.Duration("max-backoff", 0, "cap on the remote retry delay, including server Retry-After hints (0 = 2s default)")
 	)
 	flag.Parse()
 
@@ -129,6 +130,7 @@ func main() {
 			RequestTimeout: *requestTimeout,
 			MaxRetries:     *retries,
 			RetryBackoff:   *retryBackoff,
+			MaxBackoff:     *maxBackoff,
 		}
 		switch *scenario {
 		case "edge":
@@ -262,6 +264,11 @@ func main() {
 		fmt.Printf("evaluation cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			res.CacheHits, res.CacheMisses,
 			100*float64(res.CacheHits)/float64(res.CacheHits+res.CacheMisses))
+	}
+	if *remoteWorkers != "" {
+		// Zero unless a worker failure was truly unrecoverable; chaos CI
+		// greps this line to prove no evaluation was silently dropped.
+		fmt.Printf("remote evals lost: %d\n", telemetry.DistLostEvals().Value())
 	}
 	fmt.Printf("Pareto front (%d designs):\n", len(res.Front))
 	for _, d := range res.Front {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"unico/internal/camodel"
@@ -41,8 +42,11 @@ type Options struct {
 	// MaxRetries is how many times an idempotent request (EvaluatePPA) is
 	// retried after a retryable failure — 5xx status, transport error, or
 	// truncated response. Non-idempotent routes (CreateJob, AdvanceJob) are
-	// never retried: a retry after an ambiguous failure could create a
-	// duplicate job or spend budget twice.
+	// never retried after such ambiguous failures: a retry could create a
+	// duplicate job or spend budget twice. The one exception on every route
+	// is a load shed (429/503 with Retry-After): the server rejected the
+	// request before processing it, so a retry is unambiguous and waits out
+	// the advertised delay, capped by MaxBackoff.
 	MaxRetries int
 	// RetryBackoff is the initial retry delay (doubling per retry, with
 	// jitter). <= 0 means DefaultRetryBackoff.
@@ -107,6 +111,46 @@ func (e *retryableError) Unwrap() error { return e.err }
 
 func retryable(err error) error { return &retryableError{err: err} }
 
+// shedError is a load-shed response: 429 Too Many Requests or
+// 503 Service Unavailable, rejected by the fleet router or a draining
+// worker *before* any processing happened. That pre-processing guarantee is
+// what makes a shed safe to retry even on non-idempotent routes — nothing
+// was created and no budget was spent. RetryAfter carries the server's
+// advertised backoff (0 when the Retry-After header was absent or
+// malformed); the client honors it capped by Options.MaxBackoff.
+type shedError struct {
+	path       string
+	status     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("dist: post %s: shed with %s (retry after %v)", e.path, e.status, e.retryAfter)
+}
+
+// parseRetryAfter parses a Retry-After header value: delay seconds
+// (RFC 9110 §10.2.3) or an absolute HTTP-date. ok is false on absent or
+// malformed values. Past dates parse to 0 (retry immediately).
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t) //unicolint:allow detclock absolute Retry-After dates are defined against the real clock
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // do sends one POST and decodes the JSON response, classifying failures as
 // retryable or not. 4xx responses carry a JSON error body the caller
 // inspects, so they decode normally and are never retried. The request is
@@ -133,6 +177,12 @@ func (c *Client) do(ctx context.Context, path string, body []byte, resp any) err
 		return retryable(fmt.Errorf("dist: post %s: %w", path, err))
 	}
 	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode == http.StatusServiceUnavailable {
+		// Load shed (fleet router queue-full, draining worker): honor the
+		// advertised Retry-After instead of treating it as a generic failure.
+		delay, _ := parseRetryAfter(httpResp.Header.Get("Retry-After"))
+		return retryable(&shedError{path: path, status: httpResp.Status, retryAfter: delay})
+	}
 	if httpResp.StatusCode >= 500 {
 		return retryable(fmt.Errorf("dist: post %s: worker returned %s", path, httpResp.Status))
 	}
@@ -142,23 +192,35 @@ func (c *Client) do(ctx context.Context, path string, body []byte, resp any) err
 	return nil
 }
 
-// post sends req as JSON and decodes the response into resp, without
-// retrying — the route may not be idempotent.
+// post sends req as JSON and decodes the response into resp. The route may
+// not be idempotent, so genuine failures are never retried — but load sheds
+// (429/503 with Retry-After, see shedError) are rejected before any
+// processing and retry safely on every route, up to MaxRetries.
 func (c *Client) post(ctx context.Context, path string, req, resp any) error {
-	_, ser := perfprof.Start(ctx, "dist.serialize")
-	body, err := json.Marshal(req)
-	ser.End()
-	if err != nil {
-		return fmt.Errorf("dist: marshal %s: %w", path, err)
-	}
-	return c.do(ctx, path, body, resp)
+	return c.send(ctx, path, req, resp, func(err error) bool {
+		var shed *shedError
+		return errors.As(err, &shed)
+	})
 }
 
-// postIdempotent is post with up to MaxRetries retries on retryable
-// failures, backing off exponentially with jitter so a pool of masters does
-// not hammer a recovering worker in lockstep. Cancelling ctx aborts both
-// in-flight requests and backoff sleeps.
+// postIdempotent is post with up to MaxRetries retries on every retryable
+// failure (transport errors, 5xx, truncated responses, sheds), backing off
+// exponentially with jitter so a pool of masters does not hammer a
+// recovering worker in lockstep. Cancelling ctx aborts both in-flight
+// requests and backoff sleeps.
 func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any) error {
+	return c.send(ctx, path, req, resp, func(err error) bool {
+		var r *retryableError
+		return errors.As(err, &r)
+	})
+}
+
+// send is the shared retry loop: failures selected by retryOn are retried
+// up to MaxRetries times. The delay between attempts is exponential with
+// jitter, except after a load shed that advertised Retry-After — then the
+// server-advertised delay is honored, capped by Options.MaxBackoff so a
+// misbehaving server cannot park the client for minutes.
+func (c *Client) send(ctx context.Context, path string, req, resp any, retryOn func(error) bool) error {
 	_, ser := perfprof.Start(ctx, "dist.serialize")
 	body, err := json.Marshal(req)
 	ser.End()
@@ -168,14 +230,19 @@ func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any)
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		err := c.do(ctx, path, body, resp)
-		var r *retryableError
-		if err == nil || attempt >= c.opts.MaxRetries || !errors.As(err, &r) {
+		if err == nil || attempt >= c.opts.MaxRetries || !retryOn(err) {
 			return err
 		}
 		telemetry.DistRetries().Inc()
-		wait := perfprof.NewTimer()
 		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)) //unicolint:allow detclock retry-backoff jitter; search spend is counted in evaluations, not wall time
-		timer := time.NewTimer(delay)
+		var shed *shedError
+		if errors.As(err, &shed) && shed.retryAfter > 0 {
+			if delay = shed.retryAfter; delay > c.opts.MaxBackoff {
+				delay = c.opts.MaxBackoff
+			}
+		}
+		wait := perfprof.NewTimer()
+		timer := time.NewTimer(delay) //unicolint:allow detclock retry backoff waits real time between attempts; results stay deterministic
 		select {
 		case <-ctx.Done():
 			timer.Stop()
@@ -271,6 +338,15 @@ func newRemoteEvalError(resp PPAResponse, engine string) *remoteEvalError {
 	return e
 }
 
+// CanonicalEvalKey returns the content address of a PPA request — the same
+// SHA-256 key the evaluation cache uses, which makes it the coordinate the
+// fleet router consistent-hashes on (so repeats of a triple land on the
+// shard whose LRU already holds it). The engine name is "maestro" or
+// "camodel"; ok is false for malformed requests.
+func CanonicalEvalKey(req *PPARequest) (evalcache.Key, string, bool) {
+	return cacheKeyFor(req)
+}
+
 // cacheKeyFor derives the content address of a PPA request; ok is false for
 // malformed requests, which skip the cache and let the worker report the
 // error.
@@ -355,14 +431,29 @@ func (c *Client) DeleteJob(id string) error {
 	return nil
 }
 
-// Healthy reports whether the worker answers its health endpoint.
+// Healthy reports whether the worker answers its health endpoint and is
+// accepting new work (a draining worker answers but reports "draining", and
+// must not be handed new jobs).
 func (c *Client) Healthy() bool {
+	h, err := c.Health()
+	return err == nil && h.Status == StatusOK
+}
+
+// Health fetches the worker's health status.
+func (c *Client) Health() (HealthResponse, error) {
 	resp, err := c.hc.Get(c.base + "/v1/healthz")
 	if err != nil {
-		return false
+		return HealthResponse{}, fmt.Errorf("dist: health %s: %w", c.base, err)
 	}
 	defer resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode != http.StatusOK {
+		return HealthResponse{}, fmt.Errorf("dist: health %s: %s", c.base, resp.Status)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return HealthResponse{}, fmt.Errorf("dist: health %s: %w", c.base, err)
+	}
+	return h, nil
 }
 
 // remoteJob adapts a worker-side job to the mapsearch.Searcher interface, so
@@ -403,6 +494,10 @@ func (j *remoteJob) AdvanceContext(ctx context.Context, budget int) {
 	state, err := j.client.AdvanceJobContext(ctx, j.id, budget)
 	if err != nil {
 		if ctx.Err() == nil {
+			// The candidate's remaining budget is unrecoverable: the
+			// co-optimizer will score it infeasible. Counted so the chaos
+			// gates can assert a fleet run lost nothing.
+			telemetry.DistLostEvals().Inc()
 			j.err = err
 		}
 		return

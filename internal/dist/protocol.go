@@ -54,6 +54,21 @@ type JobSpec struct {
 	Seed int64 `json:"seed"`
 }
 
+// HealthResponse is the /v1/healthz body. Status is "ok" or "draining"; a
+// draining worker still answers health probes and finishes in-flight jobs
+// but refuses new work, so routers take it out of the hash ring instead of
+// counting it dead.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Jobs   int    `json:"jobs"`
+}
+
+// StatusOK and StatusDraining are the HealthResponse.Status values.
+const (
+	StatusOK       = "ok"
+	StatusDraining = "draining"
+)
+
 // JobCreateResponse returns the worker-side job handle.
 type JobCreateResponse struct {
 	ID    string `json:"id"`

@@ -155,6 +155,7 @@ func (p *RemoteSpatialPlatform) NewJob(x []float64, seed int64) mapsearch.Search
 		}
 		p.noteFailure(w)
 	}
+	telemetry.DistLostEvals().Inc()
 	return deadJob{}
 }
 

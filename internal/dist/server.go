@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"strings"
 
@@ -25,6 +26,11 @@ import (
 type Server struct {
 	spatial mapsearch.SpatialEngine
 	ascend  mapsearch.AscendEngine
+
+	// draining: the shard finishes in-flight jobs (advance/delete still
+	// answer) but refuses new evaluations and job creations with
+	// 503 + Retry-After, and reports "draining" on its health endpoint.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	nextID int
@@ -56,7 +62,9 @@ func NewServerWith(spatial mapsearch.SpatialEngine, ascend mapsearch.AscendEngin
 //	POST   /v1/jobs         create a mapping-search job
 //	POST   /v1/jobs/advance spend budget on a job
 //	DELETE /v1/jobs/{id}    release a finished job's server-side state
-//	GET    /v1/healthz      liveness probe
+//	GET    /v1/healthz      liveness probe (status "ok" or "draining")
+//	POST   /v1/drain        start draining: finish in-flight jobs, refuse new work
+//	POST   /v1/undrain      return to normal service
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ppa", s.handlePPA)
@@ -64,7 +72,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/advance", s.handleAdvance)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, s.health())
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		s.SetDraining(true)
+		writeJSON(w, http.StatusOK, s.health())
+	})
+	mux.HandleFunc("POST /v1/undrain", func(w http.ResponseWriter, r *http.Request) {
+		s.SetDraining(false)
+		writeJSON(w, http.StatusOK, s.health())
 	})
 	// Attribute request volume to the originating client run via the
 	// X-Unico-Run-ID header (capped label cardinality; see DistRunRequests).
@@ -83,13 +99,46 @@ func routeLabel(r *http.Request) string {
 		return "/v1/jobs/{id}"
 	}
 	switch r.URL.Path {
-	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz":
+	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz", "/v1/drain", "/v1/undrain":
 		return r.URL.Path
 	}
 	return "other"
 }
 
+// SetDraining flips the worker's drain state. Draining is reversible: a
+// shard taken out for maintenance rejoins with its caches warm.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// Draining reports whether the worker is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// health is the current HealthResponse.
+func (s *Server) health() HealthResponse {
+	st := StatusOK
+	if s.Draining() {
+		st = StatusDraining
+	}
+	return HealthResponse{Status: st, Jobs: s.JobCount()}
+}
+
+// drainRetryAfterSeconds is the backoff a draining worker advertises on
+// refused work: long enough that a retrying client lands after the router's
+// next health-probe round has re-hashed the shard's key range.
+const drainRetryAfterSeconds = 1
+
+// refuseDraining answers a request refused because the worker is draining:
+// 503 with Retry-After, the shed contract clients and routers understand
+// (the dist client retries it on every route after the advertised delay).
+func refuseDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSeconds))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "worker draining"})
+}
+
 func (s *Server) handlePPA(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		refuseDraining(w)
+		return
+	}
 	var req PPARequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "bad request: " + err.Error()})
@@ -130,6 +179,10 @@ func ppaResponse(met ppa.Metrics, err error, infeasible error) PPAResponse {
 }
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		refuseDraining(w)
+		return
+	}
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, JobCreateResponse{Error: "bad request: " + err.Error()})

@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unico/internal/evalcache"
+	"unico/internal/hw"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in     string
+		want   time.Duration
+		wantOK bool
+	}{
+		{"3", 3 * time.Second, true},
+		{"0", 0, true},
+		{"-5", 0, false},
+		{"", 0, false},
+		{"soon", 0, false},
+		{"1.5", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in)
+		if got != c.want || ok != c.wantOK {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.wantOK)
+		}
+	}
+
+	// Absolute HTTP-dates: a future date parses to roughly the remaining
+	// delay, a past one to zero (retry immediately).
+	future := time.Now().UTC().Add(10 * time.Second).Format(http.TimeFormat)
+	if got, ok := parseRetryAfter(future); !ok || got <= 0 || got > 10*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, %v; want (0, 10s], true", got, ok)
+	}
+	past := time.Now().UTC().Add(-time.Hour).Format(http.TimeFormat)
+	if got, ok := parseRetryAfter(past); !ok || got != 0 {
+		t.Errorf("parseRetryAfter(past date) = %v, %v; want 0, true", got, ok)
+	}
+}
+
+// shedOnce wraps a handler, rejecting the first request to each listed path
+// with the given status and Retry-After header.
+type shedOnce struct {
+	next       http.Handler
+	status     int
+	retryAfter string
+
+	mu   sync.Mutex
+	shed map[string]bool
+}
+
+func (s *shedOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	first := !s.shed[r.URL.Path]
+	s.shed[r.URL.Path] = true
+	s.mu.Unlock()
+	if first {
+		if s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
+		http.Error(w, "shedding", s.status)
+		return
+	}
+	s.next.ServeHTTP(w, r)
+}
+
+func newSheddingWorker(t *testing.T, status int, retryAfter string, opts Options) *Client {
+	t.Helper()
+	shed := &shedOnce{next: NewServer().Handler(), status: status, retryAfter: retryAfter, shed: map[string]bool{}}
+	srv := httptest.NewServer(shed)
+	t.Cleanup(srv.Close)
+	return NewClientOptions(srv.URL, srv.Client(), opts)
+}
+
+// TestClientHonorsRetryAfterCapped is the satellite-1 regression: a shed
+// with a large Retry-After must delay the retry by MaxBackoff, not the full
+// advertised 5 seconds and not the tiny exponential backoff either.
+func TestClientHonorsRetryAfterCapped(t *testing.T) {
+	c := newSheddingWorker(t, http.StatusTooManyRequests, "5", Options{
+		MaxRetries: 1, RetryBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, err := c.EvaluatePPA(spatialPPARequest())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("EvaluatePPA after one 429: %v", err)
+	}
+	if resp.Error != "" || !resp.Metrics.Valid() {
+		t.Fatalf("response: %+v", resp)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Errorf("retried after %v; Retry-After hint was not honored (exponential backoff alone would be ~1ms)", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("retried after %v; MaxBackoff did not cap the 5s Retry-After hint", elapsed)
+	}
+}
+
+// TestShedRetriesOnNonIdempotentRoutes: 429/503 sheds are pre-processing
+// rejections, so even CreateJob and AdvanceJob — never retried after
+// ambiguous failures — retry them.
+func TestShedRetriesOnNonIdempotentRoutes(t *testing.T) {
+	c := newSheddingWorker(t, http.StatusServiceUnavailable, "0", Options{
+		MaxRetries: 1, RetryBackoff: time.Millisecond,
+	})
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+	spec := JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	}
+	id, err := c.CreateJob(spec) // first attempt shed with 503
+	if err != nil {
+		t.Fatalf("CreateJob through one shed: %v", err)
+	}
+	state, err := c.AdvanceJob(id, 2) // first advance shed with 503
+	if err != nil {
+		t.Fatalf("AdvanceJob through one shed: %v", err)
+	}
+	if state.Spent != 2 {
+		t.Errorf("spent %d, want 2", state.Spent)
+	}
+}
+
+// TestCorruptResponseRetriedNotCached is the satellite-2 regression: a 200
+// with a truncated body must be retried like a transport failure and must
+// never poison the client-side cache.
+func TestCorruptResponseRetriedNotCached(t *testing.T) {
+	cache := evalcache.New(0)
+	inj, c := newFaultyWorker(t, Options{
+		MaxRetries: 1, RetryBackoff: time.Millisecond, Cache: cache,
+	})
+	inj.CorruptNext(1)
+	resp, err := c.EvaluatePPA(spatialPPARequest())
+	if err != nil {
+		t.Fatalf("EvaluatePPA after one corrupt body: %v", err)
+	}
+	if resp.Error != "" || !resp.Metrics.Valid() {
+		t.Fatalf("response: %+v", resp)
+	}
+	if inj.Injected() != 1 {
+		t.Errorf("injected %d faults, want 1", inj.Injected())
+	}
+	st := cache.Stats()
+	if st.Entries != 1 || st.Misses != 1 {
+		t.Errorf("cache stats %+v; want exactly the one good response stored", st)
+	}
+	if _, err := c.EvaluatePPA(spatialPPARequest()); err != nil {
+		t.Fatalf("cached re-evaluation: %v", err)
+	}
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Errorf("cache stats %+v; want the repeat served as a hit", st)
+	}
+}
+
+// TestProbabilisticFaultsReproducible: the same seed and request order must
+// inject the same fault sequence — chaos runs are irregular, never flaky.
+func TestProbabilisticFaultsReproducible(t *testing.T) {
+	sequence := func() []int {
+		inj := NewFaultInjector(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+		inj.Probabilistic(42, 0.3, 0, 0) // only 500s: no panics, no hangs
+		var codes []int
+		for i := 0; i < 64; i++ {
+			rec := httptest.NewRecorder()
+			inj.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+			codes = append(codes, rec.Code)
+		}
+		if inj.Injected() == 0 || inj.Injected() == 64 {
+			t.Fatalf("injected %d of 64: probabilities not applied", inj.Injected())
+		}
+		return codes
+	}
+	a, b := sequence(), sequence()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at request %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestWorkerDrain is the worker half of satellite 3: a draining worker
+// reports itself, refuses new work with 503 + Retry-After, and still
+// finishes jobs it already holds.
+func TestWorkerDrain(t *testing.T) {
+	srv, c := newWorker(t)
+
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+	spec := JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	}
+	id, err := c.CreateJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/drain", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if h, err := c.Health(); err != nil || h.Status != StatusDraining {
+		t.Fatalf("health after drain = %+v, %v; want draining", h, err)
+	}
+	if c.Healthy() {
+		t.Error("Healthy() true for a draining worker; routers would keep sending it new work")
+	}
+
+	// New work is refused with a shed the client can wait out.
+	raw, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"platform":"spatial"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	if raw.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("CreateJob on draining worker = %d, want 503", raw.StatusCode)
+	}
+	if raw.Header.Get("Retry-After") == "" {
+		t.Error("draining refusal carries no Retry-After header")
+	}
+	if _, err := c.EvaluatePPA(spatialPPARequest()); err == nil {
+		t.Fatal("EvaluatePPA succeeded on a draining worker with no retry budget")
+	}
+
+	// The job created before the drain still advances to completion.
+	state, err := c.AdvanceJob(id, 2)
+	if err != nil {
+		t.Fatalf("AdvanceJob on draining worker: %v", err)
+	}
+	if state.Spent != 2 {
+		t.Errorf("spent %d, want 2", state.Spent)
+	}
+
+	resp, err = srv.Client().Post(srv.URL+"/v1/undrain", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !c.Healthy() {
+		t.Error("Healthy() false after undrain")
+	}
+}

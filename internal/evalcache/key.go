@@ -19,6 +19,11 @@ type Key [sha256.Size]byte
 // String renders the key as lowercase hex (the form persisted to JSONL).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// Uint64 folds the key to its first eight digest bytes — the uniformly
+// distributed ring coordinate the fleet router consistent-hashes shards and
+// evaluation keys into.
+func (k Key) Uint64() uint64 { return binary.LittleEndian.Uint64(k[:8]) }
+
 // parseKey decodes the hex form; ok is false on malformed input.
 func parseKey(s string) (Key, bool) {
 	var k Key

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"unico/internal/telemetry"
+)
+
+// errShed reports that a shard's admission queue is full and the request
+// must be rejected rather than queued.
+var errShed = errors.New("fleet: admission queue full")
+
+// waiter is one queued request, admitted by closing its channel.
+type waiter struct {
+	ch chan struct{}
+}
+
+// admission is one shard's overload gate: at most capacity concurrent
+// forwards, at most queueMax waiting beyond that, and the waiters drained
+// round-robin across run IDs so a single heavy run cannot monopolize the
+// shard while others starve.
+type admission struct {
+	capacity int
+	queueMax int
+	depthG   *telemetry.Gauge
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	byRun    map[string][]*waiter // FIFO per run ID
+	order    []string             // runs with waiters, round-robin order
+	next     int                  // cursor into order
+}
+
+func newAdmission(shard string, capacity, queueMax int) *admission {
+	return &admission{
+		capacity: capacity,
+		queueMax: queueMax,
+		depthG:   telemetry.FleetQueueDepth(shard),
+		byRun:    map[string][]*waiter{},
+	}
+}
+
+// acquire blocks until a slot frees (fair across run IDs), the queue
+// overflows (errShed), or ctx ends. On nil error the caller must release.
+func (a *admission) acquire(ctx context.Context, run string) error {
+	a.mu.Lock()
+	if a.inflight < a.capacity {
+		a.inflight++
+		a.updateDepthLocked()
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.queueMax {
+		a.mu.Unlock()
+		return errShed
+	}
+	w := &waiter{ch: make(chan struct{})}
+	if len(a.byRun[run]) == 0 {
+		a.order = append(a.order, run)
+	}
+	a.byRun[run] = append(a.byRun[run], w)
+	a.queued++
+	a.updateDepthLocked()
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ch:
+			// admitLocked closed our channel before we saw ctx.Done (both
+			// happen under a.mu, so this check is race-free): the slot is
+			// ours and unused — hand it straight to the next waiter.
+			a.inflight--
+			a.admitLocked()
+		default:
+			a.abandonLocked(run, w)
+		}
+		a.updateDepthLocked()
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release frees a slot taken by acquire and admits the next waiter.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.admitLocked()
+	a.updateDepthLocked()
+	a.mu.Unlock()
+}
+
+// admitLocked moves waiters into free slots, one run at a time in
+// round-robin order. Callers must hold a.mu.
+func (a *admission) admitLocked() {
+	for a.inflight < a.capacity && a.queued > 0 {
+		if a.next >= len(a.order) {
+			a.next = 0
+		}
+		run := a.order[a.next]
+		q := a.byRun[run]
+		w := q[0]
+		if len(q) == 1 {
+			delete(a.byRun, run)
+			a.order = append(a.order[:a.next], a.order[a.next+1:]...)
+			// Cursor already points at the following run.
+		} else {
+			a.byRun[run] = q[1:]
+			a.next++
+		}
+		a.queued--
+		a.inflight++
+		close(w.ch)
+	}
+}
+
+// abandonLocked removes a cancelled waiter from its run queue. Callers
+// must hold a.mu.
+func (a *admission) abandonLocked(run string, w *waiter) {
+	q := a.byRun[run]
+	for i, x := range q {
+		if x != w {
+			continue
+		}
+		q = append(q[:i], q[i+1:]...)
+		a.queued--
+		if len(q) == 0 {
+			delete(a.byRun, run)
+			for j, s := range a.order {
+				if s == run {
+					a.order = append(a.order[:j], a.order[j+1:]...)
+					if a.next > j {
+						a.next--
+					}
+					break
+				}
+			}
+		} else {
+			a.byRun[run] = q
+		}
+		return
+	}
+}
+
+// depth is the gauge value: requests in flight plus requests queued.
+func (a *admission) depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight + a.queued
+}
+
+func (a *admission) updateDepthLocked() {
+	a.depthG.Set(float64(a.inflight + a.queued))
+}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unico/internal/core"
+	"unico/internal/dist"
+	"unico/internal/hw"
+	"unico/internal/telemetry"
+)
+
+// TestChaosShardKillRestartBitIdentical is the keystone robustness check:
+// a full co-search through a 3-shard fleet, with one shard kill -9'd
+// mid-run (losing every job it hosted) and restarted empty, must finish
+// with results bit-identical to a fault-free run — zero evaluations lost,
+// zero double-counted, the failure visible only as replays and latency.
+func TestChaosShardKillRestartBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-search; skipped in -short")
+	}
+	opt := core.UNICOOptions(4, 2, 10, 3)
+	opt.Workers = 2
+	nets := []string{"MobileNetV3-S"}
+
+	// Fault-free reference: one plain worker. Evaluation is deterministic,
+	// so any healthy topology yields the same result.
+	refSrv := httptest.NewServer(dist.NewServer().Handler())
+	t.Cleanup(refSrv.Close)
+	refClient := dist.NewClient(refSrv.URL, refSrv.Client())
+	ref, err := dist.NewRemoteSpatialPlatform([]*dist.Client{refClient}, hw.Edge, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Run(ref, opt)
+
+	// The fleet under chaos: 3 shards, first failure takes a shard off the
+	// ring (FailAfter 1) so failover is immediate.
+	router, rsrv, shards := newTestFleet(t, 3, Options{FailAfter: 1}, nil)
+	client := dist.NewClientOptions(rsrv.URL, nil, dist.Options{
+		Timeout: 30 * time.Second, MaxRetries: 4,
+		RetryBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+	})
+	p, err := dist.NewRemoteSpatialPlatform([]*dist.Client{client}, hw.Edge, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lostBefore := telemetry.DistLostEvals().Value()
+	replaysBefore := telemetry.FleetReplays().Value()
+
+	done := make(chan core.Result, 1)
+	var finished atomic.Bool
+	go func() {
+		res := core.Run(p, opt)
+		finished.Store(true)
+		done <- res
+	}()
+
+	// Kill shard 1 once it has served real traffic, restart it with all
+	// in-memory job state gone, then let a health probe re-admit it. If
+	// the search outruns us the kill degenerates to a no-op restart and
+	// the bit-identity asserts below still hold.
+	victim := shards[1]
+	waitUntil(t, func() bool { return victim.hits.Load() >= 1 || finished.Load() })
+	victim.inj.SetDown(true)
+	victim.restart(dist.NewServer().Handler())
+	time.Sleep(50 * time.Millisecond)
+	victim.inj.SetDown(false)
+	router.ProbeAll(context.Background())
+
+	var got core.Result
+	select {
+	case got = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("co-search did not complete with a shard killed and restarted mid-run")
+	}
+
+	if lost := telemetry.DistLostEvals().Value() - lostBefore; lost != 0 {
+		t.Errorf("lost %d evaluations; the fleet must absorb a shard kill without dropping work", lost)
+	}
+	if len(got.All) != len(want.All) {
+		t.Fatalf("evaluated %d candidates, want %d (lost or double-counted evals)", len(got.All), len(want.All))
+	}
+	if !reflect.DeepEqual(got.Front, want.Front) {
+		t.Errorf("Pareto front under chaos differs from fault-free run:\n got %+v\nwant %+v", got.Front, want.Front)
+	}
+	if !reflect.DeepEqual(got.All, want.All) {
+		t.Errorf("full evaluation history under chaos differs from fault-free run")
+	}
+	t.Logf("chaos run: %d evals, %d job replays",
+		len(got.All), telemetry.FleetReplays().Value()-replaysBefore)
+}
+
+// TestChaosFlappingShardProbabilistic: a shard flapping with seeded
+// probabilistic 500s and connection resets must never corrupt results —
+// the run completes bit-identical to the fault-free reference.
+func TestChaosFlappingShardProbabilistic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-search; skipped in -short")
+	}
+	opt := core.UNICOOptions(4, 2, 10, 3)
+	opt.Workers = 2
+	nets := []string{"MobileNetV3-S"}
+
+	refSrv := httptest.NewServer(dist.NewServer().Handler())
+	t.Cleanup(refSrv.Close)
+	refClient := dist.NewClient(refSrv.URL, refSrv.Client())
+	ref, err := dist.NewRemoteSpatialPlatform([]*dist.Client{refClient}, hw.Edge, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Run(ref, opt)
+
+	router, rsrv, shards := newTestFleet(t, 3, Options{FailAfter: 2}, nil)
+	shards[2].inj.Probabilistic(7, 0.10, 0.05, 0)
+	client := dist.NewClientOptions(rsrv.URL, nil, dist.Options{
+		Timeout: 30 * time.Second, MaxRetries: 4,
+		RetryBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+	})
+	p, err := dist.NewRemoteSpatialPlatform([]*dist.Client{client}, hw.Edge, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lostBefore := telemetry.DistLostEvals().Value()
+	done := make(chan core.Result, 1)
+	go func() { done <- core.Run(p, opt) }()
+	// Keep re-admitting the flapping shard so faults keep landing on it.
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	go func() {
+		for probeCtx.Err() == nil {
+			router.ProbeAll(probeCtx)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	var got core.Result
+	select {
+	case got = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("co-search did not complete against a flapping shard")
+	}
+	stopProbes()
+
+	if lost := telemetry.DistLostEvals().Value() - lostBefore; lost != 0 {
+		t.Errorf("lost %d evaluations to a flapping shard", lost)
+	}
+	if len(got.All) != len(want.All) {
+		t.Fatalf("evaluated %d candidates, want %d", len(got.All), len(want.All))
+	}
+	if !reflect.DeepEqual(got.Front, want.Front) {
+		t.Errorf("Pareto front with flapping shard differs from fault-free run:\n got %+v\nwant %+v", got.Front, want.Front)
+	}
+	if shards[2].inj.Injected() == 0 {
+		t.Log("note: no faults fired this run; chaos exercised nothing (seeded draws)")
+	}
+}

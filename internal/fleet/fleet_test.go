@@ -1,0 +1,345 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unico/internal/camodel"
+	"unico/internal/dist"
+	"unico/internal/evalcache"
+	"unico/internal/hw"
+	"unico/internal/maestro"
+	"unico/internal/mapping"
+	"unico/internal/runid"
+	"unico/internal/workload"
+)
+
+// swappable is an http.Handler whose inner handler can be replaced at
+// runtime — a shard "restart with total state loss" in one call.
+type swappable struct{ v atomic.Value }
+
+func newSwappable(h http.Handler) *swappable {
+	s := &swappable{}
+	s.v.Store(h)
+	return s
+}
+
+func (s *swappable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.v.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// testShard is one live worker behind a fault injector, with request
+// counters so tests can see where the router sent traffic.
+type testShard struct {
+	url     string
+	inj     *dist.FaultInjector
+	inner   *swappable
+	hits    atomic.Int64 // all requests
+	ppaHits atomic.Int64 // /v1/ppa requests
+}
+
+// restart models kill -9 + restart: the replacement worker holds none of
+// the old one's job state.
+func (s *testShard) restart(h http.Handler) { s.inner.v.Store(h) }
+
+// newTestFleet starts n real workers behind fault injectors and a router
+// over them, all torn down with the test.
+func newTestFleet(t *testing.T, n int, opts Options, mk func() http.Handler) (*Router, *httptest.Server, []*testShard) {
+	t.Helper()
+	if mk == nil {
+		mk = func() http.Handler { return dist.NewServer().Handler() }
+	}
+	shards := make([]*testShard, n)
+	urls := make([]string, n)
+	for i := range shards {
+		sh := &testShard{inner: newSwappable(mk())}
+		sh.inj = dist.NewFaultInjector(sh.inner)
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sh.hits.Add(1)
+			if r.URL.Path == "/v1/ppa" {
+				sh.ppaHits.Add(1)
+			}
+			sh.inj.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		sh.url = srv.URL
+		shards[i] = sh
+		urls[i] = srv.URL
+	}
+	router, err := NewRouter(urls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv := httptest.NewServer(router.Handler())
+	t.Cleanup(rsrv.Close)
+	return router, rsrv, shards
+}
+
+func spatialPPABody(t *testing.T, k int) []byte {
+	t.Helper()
+	// Vary the layer's K dim, not just its name: the canonical eval key
+	// hashes the layer's shape, so each k must be a genuinely distinct key.
+	l := workload.Conv(fmt.Sprintf("c%d", k), 16+8*k, 8, 14, 14, 3, 3, 1, 1)
+	cfg := hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 1728, L2KB: 432, NoCBW: 128, Dataflow: hw.WeightStationary}
+	m := mapping.Spatial{TK: 1, TC: 1, TY: 1, TX: 1, TR: 1, TS: 1,
+		SpatX: mapping.DimK, SpatY: mapping.DimY}.Canon(l)
+	b, err := json.Marshal(dist.PPARequest{Platform: "spatial", SpatialHW: &cfg, SpatialMapping: &m, Layer: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postPPA(t *testing.T, url string, body []byte, run string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/ppa", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if run != "" {
+		req.Header.Set(runid.Header, run)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRouterRoutesByContentAddress: the same request always lands on the
+// same shard (its LRU stays hot), and different keys spread across shards.
+func TestRouterRoutesByContentAddress(t *testing.T) {
+	_, rsrv, shards := newTestFleet(t, 3, Options{}, nil)
+
+	body := spatialPPABody(t, 0)
+	for i := 0; i < 5; i++ {
+		resp := postPPA(t, rsrv.URL, body, "run-a")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	owners := 0
+	for _, sh := range shards {
+		switch sh.ppaHits.Load() {
+		case 0:
+		case 5:
+			owners++
+		default:
+			t.Fatalf("shard %s served %d of 5 identical requests; key is not sticky", sh.url, sh.ppaHits.Load())
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d shards claimed the key, want exactly 1", owners)
+	}
+
+	// Distinct keys spread: with 64 virtual nodes per shard, 32 distinct
+	// requests reaching one single shard would mean the ring is broken.
+	for k := 1; k <= 32; k++ {
+		resp := postPPA(t, rsrv.URL, spatialPPABody(t, k), "run-a")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	spread := 0
+	for _, sh := range shards {
+		if sh.ppaHits.Load() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("all traffic on %d shard(s); consistent hashing is not spreading keys", spread)
+	}
+}
+
+// TestRouterShedsOnQueueFull: with one slot and one queue entry occupied,
+// the next request is shed with 429 + Retry-After instead of queueing —
+// and the queue drains to completion once the shard unblocks.
+func TestRouterShedsOnQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	mk := func() http.Handler {
+		inner := dist.NewServer().Handler()
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/ppa" {
+				<-gate
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	router, rsrv, _ := newTestFleet(t, 1,
+		Options{ShardCapacity: 1, ShardQueue: 1, RetryAfter: 7 * time.Second}, mk)
+
+	body := spatialPPABody(t, 0)
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		run := fmt.Sprintf("run-%d", i)
+		go func() {
+			req, err := http.NewRequest(http.MethodPost, rsrv.URL+"/v1/ppa", bytes.NewReader(body))
+			if err != nil {
+				results <- -1
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(runid.Header, run)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				results <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+		// First request must be in flight (holding the slot) before the
+		// second queues, so the third deterministically overflows.
+		waitUntil(t, func() bool { return router.Members()[0].QueueDepth == i+1 })
+	}
+
+	resp := postPPA(t, rsrv.URL, body, "run-2")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+	var shed struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil || !strings.Contains(shed.Error, "queue-full") {
+		t.Errorf("shed body %+v, %v; want queue-full reason", shed, err)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("queued request finished with %d, want 200", code)
+		}
+	}
+}
+
+// TestRouterDrainReroutesWithoutDuplicateEvals is satellite 3: draining a
+// shard finishes its in-flight job, re-hashes new PPA work to the
+// survivor, and — proven by a cache shared across both shards — no
+// evaluation runs twice in the process.
+func TestRouterDrainReroutesWithoutDuplicateEvals(t *testing.T) {
+	shared := evalcache.New(0)
+	mk := func() http.Handler {
+		return dist.NewServerWith(
+			evalcache.Spatial{Inner: maestro.Engine{}, Cache: shared},
+			evalcache.Ascend{Inner: camodel.Engine{}, Cache: shared},
+		).Handler()
+	}
+	router, rsrv, shards := newTestFleet(t, 2, Options{}, mk)
+	client := dist.NewClientOptions(rsrv.URL, nil,
+		dist.Options{Timeout: 30 * time.Second, MaxRetries: 3, RetryBackoff: 2 * time.Millisecond})
+
+	// A job created before the drain...
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+	id, err := client.CreateJob(dist.JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobOwner string
+	for _, m := range router.Members() {
+		if m.Jobs == 1 {
+			jobOwner = m.ID
+		}
+	}
+	if jobOwner == "" {
+		t.Fatal("no shard owns the created job")
+	}
+
+	// Seed the cache through the router, noting which shard owns the key.
+	body := spatialPPABody(t, 0)
+	resp := postPPA(t, rsrv.URL, body, "run-a")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain eval status %d", resp.StatusCode)
+	}
+	var keyOwner *testShard
+	for _, sh := range shards {
+		if sh.ppaHits.Load() == 1 {
+			keyOwner = sh
+		}
+	}
+	if keyOwner == nil {
+		t.Fatal("no shard served the pre-drain eval")
+	}
+
+	// Drain the shard owning the PPA key AND verify the job still advances
+	// wherever it lives (a draining owner must finish what it holds).
+	dresp, err := http.Post(rsrv.URL+"/v1/fleet/drain?shard="+keyOwner.url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d", dresp.StatusCode)
+	}
+
+	state, err := client.AdvanceJob(id, 2)
+	if err != nil {
+		t.Fatalf("AdvanceJob with one shard draining: %v", err)
+	}
+	if state.Spent != 2 {
+		t.Errorf("spent %d, want 2", state.Spent)
+	}
+
+	// The drained shard refuses direct new work with 503 + Retry-After.
+	direct := postPPA(t, keyOwner.url, body, "run-a")
+	io.Copy(io.Discard, direct.Body)
+	direct.Body.Close()
+	if direct.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard answered %d directly, want 503", direct.StatusCode)
+	}
+
+	// The same key through the router re-hashes to the survivor — served
+	// from the shared cache, not recomputed.
+	misses := shared.Stats().Misses
+	before := keyOwner.ppaHits.Load()
+	resp = postPPA(t, rsrv.URL, body, "run-a")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain eval status %d", resp.StatusCode)
+	}
+	if got := keyOwner.ppaHits.Load(); got != before {
+		t.Errorf("draining shard served %d new PPA request(s); router did not re-hash", got-before)
+	}
+	if got := shared.Stats().Misses; got != misses {
+		t.Errorf("re-routed eval recomputed (misses %d -> %d); want singleflight/cache to dedupe", misses, got)
+	}
+
+	// Undrain: the shard self-reports ok, a probe re-admits it, and the key
+	// goes home.
+	uresp, err := http.Post(rsrv.URL+"/v1/fleet/undrain?shard="+keyOwner.url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, uresp.Body)
+	uresp.Body.Close()
+	router.ProbeAll(context.Background())
+	resp = postPPA(t, rsrv.URL, body, "run-a")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := keyOwner.ppaHits.Load(); got != before+1 {
+		t.Errorf("undrained shard served %d new requests, want its key back (1)", got-before)
+	}
+}

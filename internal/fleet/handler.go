@@ -1,0 +1,432 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"unico/internal/dist"
+	"unico/internal/runid"
+	"unico/internal/telemetry"
+)
+
+// maxBodyBytes bounds request bodies the router will buffer; far above any
+// legitimate PPA request or job spec.
+const maxBodyBytes = 4 << 20
+
+// jobRecord is the router's view of one mapping-search job: everything
+// needed to re-create it from scratch on another shard.
+type jobRecord struct {
+	mu       sync.Mutex
+	spec     []byte  // canonical JSON of the JobSpec, for replay
+	point    uint64  // ring coordinate
+	shard    *member // current owner
+	remoteID string  // job ID on the owner
+	spent    int     // cumulative budget confirmed spent
+}
+
+// Handler returns the router's HTTP API: the full internal/dist worker
+// surface (/v1/ppa, /v1/jobs, /v1/jobs/advance, DELETE /v1/jobs/{id},
+// /v1/healthz) plus the fleet admin endpoints /v1/fleet/members and
+// /v1/fleet/{drain,undrain}?shard=<id>.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ppa", r.handlePPA)
+	mux.HandleFunc("POST /v1/jobs", r.handleCreateJob)
+	mux.HandleFunc("POST /v1/jobs/advance", r.handleAdvance)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleDeleteJob)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.health())
+	})
+	mux.HandleFunc("GET /v1/fleet/members", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Members())
+	})
+	mux.HandleFunc("POST /v1/fleet/drain", func(w http.ResponseWriter, req *http.Request) {
+		r.handleDrain(w, req, true)
+	})
+	mux.HandleFunc("POST /v1/fleet/undrain", func(w http.ResponseWriter, req *http.Request) {
+		r.handleDrain(w, req, false)
+	})
+	return telemetry.InstrumentHandler(telemetry.DefaultRegistry, fleetRouteLabel, mux)
+}
+
+// fleetRouteLabel keeps the router's route label set bounded.
+func fleetRouteLabel(req *http.Request) string {
+	if p, ok := strings.CutPrefix(req.URL.Path, "/v1/jobs/"); ok && p != "" && p != "advance" {
+		return "/v1/jobs/{id}"
+	}
+	switch req.URL.Path {
+	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz",
+		"/v1/fleet/members", "/v1/fleet/drain", "/v1/fleet/undrain":
+		return req.URL.Path
+	}
+	return "other"
+}
+
+// health summarizes the fleet as one worker-compatible health body: "ok"
+// while any shard is active, "draining" otherwise.
+func (r *Router) health() dist.HealthResponse {
+	status := dist.StatusDraining
+	jobs := 0
+	for _, m := range r.Members() {
+		if m.State == "active" {
+			status = dist.StatusOK
+		}
+		jobs += m.Jobs
+	}
+	return dist.HealthResponse{Status: status, Jobs: jobs}
+}
+
+// shed rejects a request the fleet will not take now, with the status,
+// a Retry-After hint, and the reason recorded in unico_fleet_shed_total.
+func (r *Router) shed(w http.ResponseWriter, status int, reason string) {
+	telemetry.FleetShed(reason).Inc()
+	secs := int((r.opts.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, map[string]string{"error": "fleet overloaded: " + reason})
+}
+
+// shedEmptyRing rejects a request when no shard is active: "draining" when
+// the emptiness is operator-induced, "unhealthy" when shards are dead.
+func (r *Router) shedEmptyRing(w http.ResponseWriter) {
+	if r.anyDraining() {
+		r.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	r.shed(w, http.StatusServiceUnavailable, "unhealthy")
+}
+
+// handlePPA admission-controls and forwards one PPA evaluation to the
+// shard owning its canonical key, failing over along the ring when the
+// owner misbehaves.
+func (r *Router) handlePPA(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, dist.PPAResponse{Error: "read request: " + err.Error()})
+		return
+	}
+	var preq dist.PPARequest
+	if err := json.Unmarshal(body, &preq); err != nil {
+		writeJSON(w, http.StatusBadRequest, dist.PPAResponse{Error: "decode request: " + err.Error()})
+		return
+	}
+	var point uint64
+	if key, _, ok := dist.CanonicalEvalKey(&preq); ok {
+		point = key.Uint64()
+	} else {
+		// Malformed requests have no canonical key; route by raw bytes so
+		// the owning shard reports the error.
+		point = hashBytes(body)
+	}
+	succ := r.successors(point)
+	if len(succ) == 0 {
+		r.shedEmptyRing(w)
+		return
+	}
+	run := req.Header.Get(runid.Header)
+	for _, m := range succ {
+		if err := m.adm.acquire(req.Context(), run); err != nil {
+			if errors.Is(err, errShed) {
+				// Queue-full on the owner is overload, not failure: shed
+				// rather than spill onto other shards (which would wreck
+				// their cache locality and hide the overload).
+				r.shed(w, http.StatusTooManyRequests, "queue-full")
+			}
+			return
+		}
+		status, rbody, err := r.forwardTo(req.Context(), m, "/v1/ppa", body, run)
+		m.adm.release()
+		if err == nil && status < http.StatusInternalServerError {
+			r.noteSuccess(m)
+			relay(w, status, rbody)
+			return
+		}
+		r.noteFailure(m)
+		if req.Context().Err() != nil {
+			return
+		}
+	}
+	r.shed(w, http.StatusServiceUnavailable, "unhealthy")
+}
+
+// handleCreateJob places a new mapping-search job on the shard owning its
+// spec's ring coordinate and records enough to replay it elsewhere later.
+func (r *Router) handleCreateJob(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, dist.JobCreateResponse{Error: "read request: " + err.Error()})
+		return
+	}
+	var spec dist.JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, dist.JobCreateResponse{Error: "decode request: " + err.Error()})
+		return
+	}
+	// Re-marshal so the ring coordinate depends on the canonical field
+	// order, not the client's whitespace or key ordering.
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, dist.JobCreateResponse{Error: "encode spec: " + err.Error()})
+		return
+	}
+	point := hashBytes(canon)
+	succ := r.successors(point)
+	if len(succ) == 0 {
+		r.shedEmptyRing(w)
+		return
+	}
+	run := req.Header.Get(runid.Header)
+	for _, m := range succ {
+		status, rbody, err := r.forwardTo(req.Context(), m, "/v1/jobs", canon, run)
+		if err != nil || status >= http.StatusInternalServerError {
+			r.noteFailure(m)
+			if req.Context().Err() != nil {
+				return
+			}
+			continue
+		}
+		r.noteSuccess(m)
+		if status != http.StatusOK {
+			relay(w, status, rbody) // deterministic spec rejection
+			return
+		}
+		var cresp dist.JobCreateResponse
+		if err := json.Unmarshal(rbody, &cresp); err != nil || cresp.ID == "" {
+			r.noteFailure(m)
+			continue
+		}
+		r.mu.Lock()
+		r.nextJob++
+		id := "fj-" + strconv.Itoa(r.nextJob)
+		r.jobs[id] = &jobRecord{spec: canon, point: point, shard: m, remoteID: cresp.ID}
+		r.mu.Unlock()
+		writeJSON(w, http.StatusOK, dist.JobCreateResponse{ID: id})
+		return
+	}
+	r.shed(w, http.StatusServiceUnavailable, "unhealthy")
+}
+
+// handleAdvance forwards a budget installment to the job's owner; if the
+// owner is gone (dead, restarted without state, or marked down) the job is
+// replayed deterministically on the next shard along the ring.
+func (r *Router) handleAdvance(w http.ResponseWriter, req *http.Request) {
+	var areq dist.AdvanceRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, maxBodyBytes)).Decode(&areq); err != nil {
+		writeJSON(w, http.StatusBadRequest, dist.JobState{Error: "decode request: " + err.Error()})
+		return
+	}
+	r.mu.Lock()
+	rec := r.jobs[areq.ID]
+	r.mu.Unlock()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, dist.JobState{ID: areq.ID, Error: "unknown job " + areq.ID})
+		return
+	}
+	run := req.Header.Get(runid.Header)
+	// One installment at a time per job: advances on the same job are
+	// serialized so replay sees a consistent spent count.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+
+	// First try the current owner. A draining owner still serves the jobs
+	// it holds — that is the whole point of draining.
+	if owner := rec.shard; owner != nil && r.stateOf(owner) != shardDown {
+		state, ok := r.advanceOn(req.Context(), owner, rec.remoteID, areq.Budget, run)
+		if ok {
+			r.noteSuccess(owner)
+			if state.Error == "" {
+				rec.spent = state.Spent
+			}
+			state.ID = areq.ID
+			writeJSON(w, http.StatusOK, state)
+			return
+		}
+		r.noteFailure(owner)
+		if req.Context().Err() != nil {
+			return
+		}
+	}
+
+	// Owner lost: replay spec + cumulative budget on the ring successors.
+	// The search is a pure function of both, so the state that comes back
+	// is bit-identical to what the dead owner would have produced.
+	for _, m := range r.successors(rec.point) {
+		if m == rec.shard {
+			continue // just failed above
+		}
+		state, ok := r.replayOn(req.Context(), m, rec, areq.Budget, run)
+		if ok {
+			r.noteSuccess(m)
+			state.ID = areq.ID
+			writeJSON(w, http.StatusOK, state)
+			return
+		}
+		r.noteFailure(m)
+		if req.Context().Err() != nil {
+			return
+		}
+	}
+	r.shed(w, http.StatusServiceUnavailable, "unhealthy")
+}
+
+// stateOf reads a member's state under the router lock.
+func (r *Router) stateOf(m *member) shardState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return m.state
+}
+
+// advanceOn spends budget on an existing remote job. ok is false when the
+// shard failed in a way that warrants replay elsewhere (transport error,
+// 5xx, or the shard no longer knows the job).
+func (r *Router) advanceOn(ctx context.Context, m *member, remoteID string, budget int, run string) (dist.JobState, bool) {
+	body, _ := json.Marshal(dist.AdvanceRequest{ID: remoteID, Budget: budget})
+	status, rbody, err := r.forwardTo(ctx, m, "/v1/jobs/advance", body, run)
+	if err != nil || status >= http.StatusInternalServerError || status == http.StatusNotFound {
+		return dist.JobState{}, false
+	}
+	var state dist.JobState
+	if err := json.Unmarshal(rbody, &state); err != nil {
+		return dist.JobState{}, false
+	}
+	return state, true
+}
+
+// replayOn re-creates rec's job on shard m and advances it by the job's
+// confirmed spent budget plus the new installment in one call. On success
+// the record's ownership moves to m.
+func (r *Router) replayOn(ctx context.Context, m *member, rec *jobRecord, budget int, run string) (dist.JobState, bool) {
+	status, rbody, err := r.forwardTo(ctx, m, "/v1/jobs", rec.spec, run)
+	if err != nil || status != http.StatusOK {
+		return dist.JobState{}, false
+	}
+	var cresp dist.JobCreateResponse
+	if err := json.Unmarshal(rbody, &cresp); err != nil || cresp.ID == "" {
+		return dist.JobState{}, false
+	}
+	state, ok := r.advanceOn(ctx, m, cresp.ID, rec.spent+budget, run)
+	if !ok {
+		// Best effort: don't leak the half-made job on m.
+		r.deleteOn(ctx, m, cresp.ID, run)
+		return dist.JobState{}, false
+	}
+	rec.shard = m
+	rec.remoteID = cresp.ID
+	if state.Error == "" {
+		rec.spent = state.Spent
+	}
+	telemetry.FleetReplays().Inc()
+	return state, true
+}
+
+// handleDeleteJob removes a job from its owner and the router's table.
+func (r *Router) handleDeleteJob(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	rec := r.jobs[id]
+	delete(r.jobs, id)
+	r.mu.Unlock()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, dist.JobDeleteResponse{ID: id, Error: "unknown job " + id})
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	run := req.Header.Get(runid.Header)
+	if rec.shard != nil && r.stateOf(rec.shard) != shardDown {
+		r.deleteOn(req.Context(), rec.shard, rec.remoteID, run)
+	}
+	writeJSON(w, http.StatusOK, dist.JobDeleteResponse{ID: id, Deleted: true})
+}
+
+// deleteOn best-effort deletes a remote job.
+func (r *Router) deleteOn(ctx context.Context, m *member, remoteID, run string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, m.id+"/v1/jobs/"+remoteID, nil)
+	if err != nil {
+		return
+	}
+	if run != "" {
+		req.Header.Set(runid.Header, run)
+	}
+	resp, err := r.forward.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// handleDrain moves a shard in or out of the draining state and forwards
+// the drain/undrain to the shard so it refuses work routed around the
+// router too.
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request, drain bool) {
+	id := req.URL.Query().Get("shard")
+	m := r.memberByID(id)
+	if m == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown shard %q", id)})
+		return
+	}
+	if drain {
+		r.setState(m, shardDraining)
+	} else {
+		r.setState(m, shardActive)
+	}
+	path := "/v1/undrain"
+	if drain {
+		path = "/v1/drain"
+	}
+	// Best effort: the router's own routing no longer sends the shard new
+	// work either way.
+	if _, _, err := r.forwardTo(req.Context(), m, path, []byte("{}"), req.Header.Get(runid.Header)); err == nil {
+		r.noteSuccess(m)
+	}
+	writeJSON(w, http.StatusOK, r.Members())
+}
+
+// forwardTo POSTs body to one shard and returns the status and response
+// body.
+func (r *Router) forwardTo(ctx context.Context, m *member, path string, body []byte, run string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.id+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if run != "" {
+		req.Header.Set(runid.Header, run)
+	}
+	resp, err := r.forward.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	rbody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, rbody, nil
+}
+
+// relay writes a shard's response through unchanged.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeJSON encodes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func testShardIDs() []string {
+	return []string{"http://s1:9301", "http://s2:9301", "http://s3:9301"}
+}
+
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = hashBytes([]byte{byte(i), byte(i >> 8), 0xa5})
+	}
+	return keys
+}
+
+// TestRingDeterministic: two routers over the same shard list route every
+// key identically — routing state is pure configuration, shared by nothing.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRouter(testShardIDs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRouter(testShardIDs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(256) {
+		sa, sb := a.successors(k), b.successors(k)
+		if len(sa) != 3 || len(sb) != 3 {
+			t.Fatalf("key %d: successor counts %d, %d; want 3 distinct members each", k, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i].id != sb[i].id {
+				t.Fatalf("key %d: routers disagree: %s vs %s at position %d", k, sa[i].id, sb[i].id, i)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption: taking one shard down moves only the keys it
+// owned — every key owned by a surviving shard keeps its owner, and each
+// orphaned key lands on its precomputed next successor. That is what makes
+// failover deterministic and cache-friendly.
+func TestRingMinimalDisruption(t *testing.T) {
+	r, err := NewRouter(testShardIDs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(512)
+	before := make(map[uint64][]*member, len(keys))
+	for _, k := range keys {
+		before[k] = r.successors(k)
+	}
+	victim := r.members[1]
+	r.setState(victim, shardDown)
+	moved := 0
+	for _, k := range keys {
+		owner := r.successors(k)[0]
+		prev := before[k]
+		if prev[0] != victim {
+			if owner != prev[0] {
+				t.Fatalf("key %d moved from %s to %s although its owner never failed", k, prev[0].id, owner.id)
+			}
+			continue
+		}
+		moved++
+		if owner != prev[1] {
+			t.Fatalf("orphaned key %d landed on %s, want precomputed successor %s", k, owner.id, prev[1].id)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys out of 512; ring is not spreading load")
+	}
+
+	// Recovery restores the exact original layout.
+	r.setState(victim, shardActive)
+	for _, k := range keys {
+		if got := r.successors(k)[0]; got != before[k][0] {
+			t.Fatalf("key %d owned by %s after recovery, want %s", k, got.id, before[k][0].id)
+		}
+	}
+}
+
+// TestAdmissionFairQueue: waiters drain round-robin across run IDs, not in
+// global FIFO order, so a client that queued five requests cannot make a
+// one-request client wait behind all five.
+func TestAdmissionFairQueue(t *testing.T) {
+	a := newAdmission("test-fair", 1, 8)
+	if err := a.acquire(context.Background(), "hog"); err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan string, 4)
+	// Deterministic arrival order: hog, hog, hog, then the small client.
+	depthWant := 1
+	for _, run := range []string{"hog", "hog", "hog", "small"} {
+		depthWant++
+		enqueueOrdered(t, a, run, depthWant, admitted)
+	}
+
+	a.release() // free the slot held by the setup acquire
+	got := []string{<-admitted, <-admitted, <-admitted, <-admitted}
+	want := []string{"hog", "small", "hog", "hog"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("admission order %v, want %v (round-robin across runs)", got, want)
+		}
+	}
+}
+
+// enqueueOrdered queues one acquire for run and waits until the admission
+// gate's depth shows it, so arrival order is deterministic.
+func enqueueOrdered(t *testing.T, a *admission, run string, depthWant int, admitted chan string) {
+	t.Helper()
+	go func() {
+		if err := a.acquire(context.Background(), run); err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- run
+		a.release()
+	}()
+	waitUntil(t, func() bool { return a.depth() >= depthWant })
+}
+
+// TestAdmissionShedsAndCancelReleases: the queue bound sheds instead of
+// growing, and a cancelled waiter frees its queue slot instead of leaking it.
+func TestAdmissionShedsAndCancelReleases(t *testing.T) {
+	a := newAdmission("test-shed", 1, 1)
+	if err := a.acquire(context.Background(), "r1"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, "r2") }()
+	waitUntil(t, func() bool { return a.depth() == 2 })
+
+	// Queue full: the next acquire sheds immediately.
+	if err := a.acquire(context.Background(), "r3"); err != errShed {
+		t.Fatalf("acquire on full queue = %v, want errShed", err)
+	}
+
+	// Cancelling the queued waiter frees its slot...
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	waitUntil(t, func() bool { return a.depth() == 1 })
+
+	// ...so a new request queues (does not shed) and is admitted on release.
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(context.Background(), "r4") }()
+	waitUntil(t, func() bool { return a.depth() == 2 })
+	a.release()
+	if err := <-done; err != nil {
+		t.Fatalf("acquire after cancel+release = %v", err)
+	}
+	a.release()
+	if d := a.depth(); d != 0 {
+		t.Errorf("final depth %d, want 0 (leaked slots)", d)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -440,3 +440,104 @@ func DistWorkerEvictions() *Counter { distClientMetrics(); return distEvictions 
 // DistWorkerReadmissions counts evicted workers re-admitted after a
 // successful probe.
 func DistWorkerReadmissions() *Counter { distClientMetrics(); return distReadmission }
+
+var (
+	distLostOnce sync.Once
+	distLost     *Counter
+)
+
+// DistLostEvals counts evaluations lost for good on the master side: a
+// candidate whose mapping-search job could not be placed on any worker, or
+// whose job latched a transport error mid-search. The fleet's robustness
+// contract is that this counter stays at zero through shard kill, restart
+// and drain — the CI chaos smoke gates on it.
+func DistLostEvals() *Counter {
+	distLostOnce.Do(func() {
+		distLost = DefaultRegistry.Counter("unico_dist_lost_evals_total",
+			"Candidate evaluations lost to unrecoverable worker failures.", nil)
+	})
+	return distLost
+}
+
+var (
+	fleetShardMu sync.Mutex
+	fleetQueue   = map[string]*Gauge{}
+)
+
+// maxShardLabels caps the distinct shard labels a router exports; fleets are
+// operator-configured and small, so the cap only guards against a
+// misconfigured caller generating shard IDs dynamically.
+const maxShardLabels = 256
+
+// FleetQueueDepth gauges one shard's admission pressure: requests currently
+// forwarded plus requests waiting in its bounded admission queue.
+func FleetQueueDepth(shard string) *Gauge {
+	fleetShardMu.Lock()
+	defer fleetShardMu.Unlock()
+	g := fleetQueue[shard]
+	if g == nil {
+		if len(fleetQueue) >= maxShardLabels {
+			shard = "other"
+			if g = fleetQueue[shard]; g != nil {
+				return g
+			}
+		}
+		g = DefaultRegistry.Gauge("unico_fleet_queue_depth",
+			"In-flight plus queued requests per fleet shard.", Labels{"shard": shard})
+		fleetQueue[shard] = g
+	}
+	return g
+}
+
+var (
+	fleetShedMu sync.Mutex
+	fleetShed   = map[string]*Counter{}
+)
+
+// FleetShed counts requests the fleet router shed instead of queuing,
+// by reason ("queue-full", "draining", "unhealthy").
+func FleetShed(reason string) *Counter {
+	fleetShedMu.Lock()
+	defer fleetShedMu.Unlock()
+	c := fleetShed[reason]
+	if c == nil {
+		c = DefaultRegistry.Counter("unico_fleet_shed_total",
+			"Requests shed by the fleet router, by reason.", Labels{"reason": reason})
+		fleetShed[reason] = c
+	}
+	return c
+}
+
+var (
+	fleetOnce       sync.Once
+	fleetRebalances *Counter
+	fleetReplays    *Counter
+	fleetProbe      *Histogram
+)
+
+// fleetProbeBuckets span health-probe round trips from loopback (sub-ms)
+// through a congested shard answering just inside the probe timeout.
+var fleetProbeBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+func fleetMetrics() {
+	fleetOnce.Do(func() {
+		fleetRebalances = DefaultRegistry.Counter("unico_fleet_rebalances_total",
+			"Hash-ring rebuilds after a shard joined, left, drained or recovered.", nil)
+		fleetReplays = DefaultRegistry.Counter("unico_fleet_replays_total",
+			"Mapping-search jobs re-created on a new shard and replayed to their spent budget.", nil)
+		fleetProbe = DefaultRegistry.Histogram("unico_fleet_health_probe_seconds",
+			"Fleet health-probe round-trip latency.", fleetProbeBuckets, nil)
+	})
+}
+
+// FleetRebalances counts hash-ring rebuilds caused by membership changes.
+func FleetRebalances() *Counter { fleetMetrics(); return fleetRebalances }
+
+// FleetReplays counts jobs deterministically replayed onto a new shard
+// after their owner died or restarted.
+func FleetReplays() *Counter { fleetMetrics(); return fleetReplays }
+
+// FleetProbeSeconds observes health-probe round-trip latency.
+func FleetProbeSeconds() *Histogram { fleetMetrics(); return fleetProbe }

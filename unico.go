@@ -161,8 +161,12 @@ type RemoteOptions struct {
 	// retryable failures, with exponential backoff and jitter.
 	MaxRetries int
 	// RetryBackoff is the initial retry delay (default 50 ms, doubling up
-	// to 2 s).
+	// to MaxBackoff).
 	RetryBackoff time.Duration
+	// MaxBackoff caps the retry delay (default 2 s). It also caps how long
+	// the client honors a server's Retry-After hint when a router or worker
+	// sheds load (429/503).
+	MaxBackoff time.Duration
 	// Cache enables a shared client-side evaluation cache for direct PPA
 	// requests (mapping-search jobs run worker-side; cache those with
 	// ppaserver's -cache flag instead).
@@ -189,6 +193,7 @@ func RemoteOpenSourcePlatform(sc Scenario, workers []string, opts RemoteOptions,
 			Timeout:      opts.RequestTimeout,
 			MaxRetries:   opts.MaxRetries,
 			RetryBackoff: opts.RetryBackoff,
+			MaxBackoff:   opts.MaxBackoff,
 			Cache:        cache,
 		})
 	}
