@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"unico/internal/buildinfo"
+	"unico/internal/disttrace"
 	"unico/internal/evalcache"
 	"unico/internal/experiments"
 	"unico/internal/flightrec"
@@ -53,6 +54,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	pprofDir := flag.String("pprof-dir", "", "write run-ID-stamped pprof CPU/heap profiles to this directory (enables GET /debug/unico/capture when -metrics-addr is set)")
 	pprofInterval := flag.Duration("pprof-interval", 0, "capture a heap and CPU profile every interval for the sweep's duration (requires -pprof-dir)")
+	spanLog := flag.String("span-log", "", "record distributed-trace spans of every run as JSONL to this file; analyze with unicotrace")
 	flag.Parse()
 
 	logger, err := logx.Setup(*logFormat, *logLevel)
@@ -63,6 +65,16 @@ func main() {
 	// One sweep = one correlation ID across all its runs and dist requests.
 	runid.Set(runid.New())
 	buildinfo.Publish()
+
+	if *spanLog != "" {
+		rec, err := disttrace.NewRecorder(*spanLog, "client")
+		if err != nil {
+			logger.Error("span log setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		disttrace.Enable(rec)
+		defer rec.Close()
+	}
 
 	// SIGINT/SIGTERM cancel in-flight co-searches; with -checkpoint-dir set,
 	// each interrupted run leaves a resumable checkpoint behind.

@@ -29,11 +29,22 @@
 //	GET    /debug/unico/phases   phase-attribution breakdown (text or ?format=json)
 //	GET    /debug/unico/capture  write a pprof profile to -pprof-dir (?profile=cpu|heap)
 //
+// With -span-log every request hop is additionally recorded as distributed-
+// trace spans (shard + engine spans here; queue/forward/replay spans in
+// router mode) to a JSONL file, served back per run via GET /v1/spans?run=
+// and analyzed with unicotrace.
+//
 // Router mode adds:
 //
 //	GET    /v1/fleet/members            per-shard state, queue depth, jobs
 //	POST   /v1/fleet/drain?shard=<id>   drain one shard (re-hash new work away)
 //	POST   /v1/fleet/undrain?shard=<id> return a drained shard to service
+//	GET    /v1/spans?run=<id>           merged span events (router + every shard)
+//
+// and, with -fleet-metrics:
+//
+//	GET    /metrics/fleet               every shard's /metrics, aggregated + shard-labeled
+//	GET    /debug/unico/fleet           per-shard health timelines (HTML or ?format=json)
 //
 // Every request is access-logged with the originating client's run ID (the
 // X-Unico-Run-ID header internal/dist clients attach), so a worker log line
@@ -57,6 +68,7 @@ import (
 	"unico/internal/buildinfo"
 	"unico/internal/camodel"
 	"unico/internal/dist"
+	"unico/internal/disttrace"
 	"unico/internal/evalcache"
 	"unico/internal/fleet"
 	"unico/internal/logx"
@@ -99,6 +111,10 @@ func main() {
 		"router: per-forwarded-request timeout; must exceed the longest budget installment")
 	virtualNodes := flag.Int("virtual-nodes", fleet.DefaultVirtualNodes,
 		"router: hash-ring virtual nodes per shard")
+	spanLog := flag.String("span-log", "",
+		"record distributed-trace spans (shard/engine, or router queue/forward/replay) as JSONL to this file; analyze with unicotrace")
+	fleetMetrics := flag.Bool("fleet-metrics", false,
+		"router: serve the aggregated GET /metrics/fleet exposition and the GET /debug/unico/fleet health dashboard")
 	flag.Parse()
 
 	logger, err := logx.Setup(*logFormat, *logLevel)
@@ -107,6 +123,20 @@ func main() {
 		os.Exit(1)
 	}
 	buildinfo.Publish()
+
+	if *spanLog != "" {
+		proc := "shard"
+		if *shards != "" {
+			proc = "router"
+		}
+		rec, err := disttrace.NewRecorder(*spanLog, proc)
+		if err != nil {
+			logger.Error("span log setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		disttrace.Enable(rec)
+		defer rec.Close()
+	}
 
 	if *pprofInterval > 0 && *pprofDir == "" {
 		logger.Error("-pprof-interval requires -pprof-dir")
@@ -179,6 +209,14 @@ func main() {
 	mux.Handle("GET /metrics", debug)
 	mux.Handle("GET /debug/", debug)
 	mux.Handle("GET /debug/unico/phases", perfprof.PhasesHandler())
+	if *fleetMetrics {
+		if router == nil {
+			logger.Error("-fleet-metrics requires router mode (-shards)")
+			os.Exit(1)
+		}
+		mux.Handle("GET /metrics/fleet", router.FleetMetricsHandler())
+		mux.Handle("GET /debug/unico/fleet", router.DebugHandler())
+	}
 	if capture != nil {
 		mux.Handle("GET /debug/unico/capture", capture.Handler())
 	}

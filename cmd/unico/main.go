@@ -24,6 +24,7 @@ import (
 
 	"unico"
 	"unico/internal/buildinfo"
+	"unico/internal/disttrace"
 	"unico/internal/flightrec"
 	"unico/internal/logx"
 	"unico/internal/perfprof"
@@ -47,6 +48,7 @@ func main() {
 		jsonNets      = flag.String("workload-json", "", "comma-separated JSON workload files (overrides -networks)")
 
 		traceFile    = flag.String("trace", "", "write search events as Chrome-trace JSONL to this file")
+		spanLog      = flag.String("span-log", "", "record distributed-trace spans (client, attempt, backoff per remote call) as JSONL to this file; analyze with unicotrace")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof and the /debug/unico dashboard on this address while running")
 		progress     = flag.Bool("progress", false, "print per-iteration convergence to stderr")
 		flightRecord = flag.String("flight-record", "", "write the run's flight record (header, per-iteration convergence, summary) as JSONL to this file; view with unicoreport")
@@ -82,6 +84,16 @@ func main() {
 	// carries it from the first line.
 	runid.Set(runid.New())
 	buildinfo.Publish()
+
+	if *spanLog != "" {
+		rec, err := disttrace.NewRecorder(*spanLog, "client")
+		if err != nil {
+			logger.Error("span log setup failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		disttrace.Enable(rec)
+		defer rec.Close()
+	}
 
 	if *pprofInterval > 0 && *pprofDir == "" {
 		logger.Error("-pprof-interval requires -pprof-dir")

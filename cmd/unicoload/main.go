@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"unico/internal/dist"
+	"unico/internal/disttrace"
 	"unico/internal/hw"
 	"unico/internal/mapping"
 	"unico/internal/runid"
@@ -60,11 +61,21 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	sloP99 := flag.Duration("slo-p99", 0, "fail if served-request p99 latency exceeds this at any rate (0 = off)")
 	sloGoodput := flag.Float64("slo-goodput", 0, "fail if served/offered falls below this fraction at any rate after subtracting sheds (0 = off)")
+	spanLog := flag.String("span-log", "", "record one distributed-trace client span per fired request as JSONL to this file; analyze with unicotrace")
 	flag.Parse()
 
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "unicoload: -target is required")
 		os.Exit(2)
+	}
+	if *spanLog != "" {
+		rec, err := disttrace.NewRecorder(*spanLog, "loadgen")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unicoload:", err)
+			os.Exit(2)
+		}
+		disttrace.Enable(rec)
+		defer rec.Close()
 	}
 	var rateList []float64
 	for _, f := range strings.Split(*rates, ",") {
@@ -198,14 +209,28 @@ loop:
 	return rep
 }
 
-// fire issues one PPA evaluation and reports the status code.
-func fire(ctx context.Context, client *http.Client, target string, body []byte, run string) (int, error) {
+// fire issues one PPA evaluation and reports the status code. With tracing
+// on, each request is a root "client" span in its synthetic run's trace, so
+// a load sweep's span log shows router queue/forward time per request.
+func fire(ctx context.Context, client *http.Client, target string, body []byte, run string) (status int, err error) {
+	span := disttrace.StartSpan(run, disttrace.SpanContext{}, "client", "/v1/ppa")
+	defer func() {
+		switch {
+		case err != nil:
+			span.End("error", nil)
+		case status == http.StatusOK:
+			span.End("ok", nil)
+		default:
+			span.End("shed", map[string]string{"status": strconv.Itoa(status)})
+		}
+	}()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/ppa", strings.NewReader(string(body)))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(runid.Header, run)
+	disttrace.Inject(req.Header, span.Context())
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err

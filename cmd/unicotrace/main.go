@@ -1,0 +1,176 @@
+// Command unicotrace reconstructs distributed traces from span logs (the
+// JSONL files written with -span-log, or a router's merged /v1/spans
+// output), renders an HTML waterfall, and gates CI on trace health.
+//
+// Usage:
+//
+//	unicotrace spans.jsonl                        # text summary to stdout
+//	unicotrace -o trace.html client.jsonl shard1.jsonl shard2.jsonl
+//	unicotrace -run 4f2a... -summary sum.json *.jsonl
+//	unicotrace -gate -max-orphans 0 -queue-p99 500ms merged.jsonl
+//
+// Inputs are merged (duplicate events from overlapping collections are
+// dropped), grouped into traces by run ID, and analyzed: span tree, orphan
+// and incomplete spans, per-eval chain completeness (every ok eval must
+// reach an engine span), self-time phase breakdown, queue-wait
+// percentiles, and per-eval critical paths.
+//
+// With -gate the exit status reports trace health: orphan spans beyond
+// -max-orphans, any ok eval without a complete client→…→engine chain, or a
+// queue-wait p99 over -queue-p99 fail the gate. Exit codes: 0 healthy,
+// 1 gate violation, 2 malformed input — no readable events, an unknown
+// -run, or bad usage — mirroring unicoreport so scripts can tell "the
+// fleet misbehaved" (1) from "the spans are unusable" (2).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"unico/internal/disttrace"
+)
+
+func main() {
+	run := flag.String("run", "", "trace (run ID) to analyze; defaults to the only trace in the input")
+	out := flag.String("o", "", "write the HTML waterfall to this file")
+	summaryOut := flag.String("summary", "", "write the machine-readable JSON summary to this file")
+	gate := flag.Bool("gate", false, "exit 1 when the trace fails the health gates")
+	maxOrphans := flag.Int("max-orphans", 0, "with -gate: tolerated orphan spans")
+	queueP99 := flag.Duration("queue-p99", 0, "with -gate: fail when queue-wait p99 exceeds this (0 disables)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: unicotrace [-run id] [-o trace.html] [-summary sum.json] [-gate [-max-orphans n] [-queue-p99 d]] spans.jsonl...")
+		os.Exit(2)
+	}
+	events, skipped, err := disttrace.LoadFiles(flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unicotrace: %v\n", err)
+		os.Exit(2)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "unicotrace: skipped %d malformed/duplicate lines\n", skipped)
+	}
+	traces := disttrace.BuildTraces(events)
+	if len(traces) == 0 {
+		fmt.Fprintln(os.Stderr, "unicotrace: no span events in input")
+		os.Exit(2)
+	}
+	tr := pick(traces, *run)
+	if tr == nil {
+		fmt.Fprintf(os.Stderr, "unicotrace: run %q not in input (have: %s)\n", *run, traceIDs(traces))
+		os.Exit(2)
+	}
+	a := disttrace.Analyze(tr)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, disttrace.WaterfallHTML(tr, a), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "unicotrace: write waterfall: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *summaryOut != "" {
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*summaryOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unicotrace: write summary: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	printSummary(a)
+
+	if *gate {
+		failed := false
+		if a.Summary.Orphans > *maxOrphans {
+			fmt.Fprintf(os.Stderr, "unicotrace: GATE: %d orphan spans (max %d)\n", a.Summary.Orphans, *maxOrphans)
+			failed = true
+		}
+		if a.Summary.IncompleteChains > 0 {
+			fmt.Fprintf(os.Stderr, "unicotrace: GATE: %d ok evals without a complete client→…→engine chain\n", a.Summary.IncompleteChains)
+			failed = true
+		}
+		if *queueP99 > 0 && a.Summary.QueueWaitP99 > queueP99.Seconds() {
+			fmt.Fprintf(os.Stderr, "unicotrace: GATE: queue-wait p99 %.6fs over budget %v\n", a.Summary.QueueWaitP99, *queueP99)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("gate: ok")
+	}
+}
+
+func pick(traces []*disttrace.Trace, run string) *disttrace.Trace {
+	if run == "" {
+		if len(traces) == 1 {
+			return traces[0]
+		}
+		// Several traces and no -run: pick the one with the most spans (the
+		// co-search run dwarfs any stray health-probe noise), and say so.
+		best := traces[0]
+		for _, t := range traces[1:] {
+			if len(t.Spans) > len(best.Spans) {
+				best = t
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unicotrace: %d traces in input, analyzing %s (largest); select with -run\n",
+			len(traces), best.ID)
+		return best
+	}
+	for _, t := range traces {
+		if t.ID == run {
+			return t
+		}
+	}
+	return nil
+}
+
+func traceIDs(traces []*disttrace.Trace) string {
+	s := ""
+	for i, t := range traces {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.ID
+	}
+	return s
+}
+
+func printSummary(a *disttrace.Analysis) {
+	s := a.Summary
+	fmt.Printf("trace %s: %d spans, %d orphans, %d incomplete spans\n", s.Trace, s.Spans, s.Orphans, s.IncompleteSpans)
+	fmt.Printf("evals: %d (%d complete chains, %d incomplete)\n", s.Evals, s.CompleteChains, s.IncompleteChains)
+	fmt.Printf("queue wait: p50 %.6fs, p99 %.6fs\n", s.QueueWaitP50, s.QueueWaitP99)
+	kinds := make([]string, 0, len(s.PhaseSeconds))
+	for k := range s.PhaseSeconds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Println("phase breakdown (self time):")
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %4d spans  %10.6fs\n", k, s.SpansByKind[k], s.PhaseSeconds[k])
+	}
+	// The slowest evals' critical paths tell where latency went.
+	evals := append([]disttrace.EvalChain(nil), a.Evals...)
+	sort.Slice(evals, func(i, j int) bool { return evals[i].Seconds > evals[j].Seconds })
+	n := len(evals)
+	if n > 5 {
+		n = 5
+	}
+	if n > 0 {
+		fmt.Println("slowest evals:")
+	}
+	for _, ec := range evals[:n] {
+		fmt.Printf("  %s %s %.6fs:", ec.Name, ec.Status, ec.Seconds)
+		for _, step := range ec.CriticalPath {
+			fmt.Printf(" %s=%s", step.Kind, (time.Duration(step.Seconds * float64(time.Second))).Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"unico/internal/disttrace"
 	"unico/internal/flightrec"
 	"unico/internal/mapsearch"
 	"unico/internal/mobo"
@@ -341,6 +342,10 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 	// — which is what keeps flight records bit-identical across kill/resume.
 	prof := perfprof.Active()
 
+	// One distributed-trace run per core.Run call: iteration spans get
+	// deterministic IDs ("r<run>-it<iter>") whether or not tracing is on.
+	disttrace.BeginRun()
+
 	for iter := lastIter + 1; iter <= opt.MaxIter; iter++ {
 		if ctx.Err() != nil {
 			break
@@ -349,6 +354,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			break
 		}
 		prof.TakeWindow() // discard activity since the previous iteration
+		endTrace, traceSpanID := disttrace.BeginIteration(iter)
 		pctx, phaseIter := prof.StartClocked(ctx, "iteration", opt.Clock)
 		iterSpan := tr.StartSpan("mobo_iteration", "core", 0, opt.Clock.Seconds())
 		suggestSpan := tr.StartSpan("suggest_batch", "mobo", 0, opt.Clock.Seconds())
@@ -359,6 +365,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		if len(xs) == 0 {
 			phaseIter.End()
 			iterSpan.End(opt.Clock.Seconds(), map[string]any{"iter": iter, "exhausted": true})
+			endTrace()
 			break
 		}
 		jobs := make([]mapsearch.Searcher, len(xs))
@@ -381,6 +388,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			closeJobs(jobs)
 			phaseIter.End()
 			iterSpan.End(opt.Clock.Seconds(), map[string]any{"iter": iter, "canceled": true})
+			endTrace()
 			break
 		}
 		res.Evals += outcome.TotalEvals
@@ -431,6 +439,10 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 		phaseHV.End()
 		hvSpan.End(opt.Clock.Seconds(), map[string]any{"hv": hv, "front": len(res.Front)})
 		phaseIter.End()
+		// End the iteration's trace span before recording the flight line,
+		// so the span log's end event is durable by the time the flight
+		// record that references it is.
+		endTrace()
 
 		// Flight record at the completed-iteration boundary, durably written
 		// BEFORE the checkpoint journal entry: at any crash the artifact then
@@ -449,6 +461,7 @@ func RunContext(ctx context.Context, p Platform, opt Options) Result {
 			Front:         frontPPA(res.Front),
 			RungAlive:     outcome.RungAlive,
 			Phases:        prof.TakeWindow(),
+			TraceSpan:     traceSpanID,
 		}
 		if opt.Flight != nil {
 			opt.Flight.RecordIteration(flightIt)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"unico/internal/camodel"
+	"unico/internal/disttrace"
 	"unico/internal/evalcache"
 	"unico/internal/maestro"
 	"unico/internal/perfprof"
@@ -115,13 +116,16 @@ func retryable(err error) error { return &retryableError{err: err} }
 // 503 Service Unavailable, rejected by the fleet router or a draining
 // worker *before* any processing happened. That pre-processing guarantee is
 // what makes a shed safe to retry even on non-idempotent routes — nothing
-// was created and no budget was spent. RetryAfter carries the server's
-// advertised backoff (0 when the Retry-After header was absent or
-// malformed); the client honors it capped by Options.MaxBackoff.
+// was created and no budget was spent. retryAfter carries the server's
+// advertised backoff and advertised whether the header parsed at all; the
+// client clamps an advertised delay into [RetryBackoff, MaxBackoff] (see
+// retryDelay), so a zero, negative, or past-dated advertisement cannot turn
+// the retry loop into a zero-sleep spin.
 type shedError struct {
 	path       string
 	status     string
 	retryAfter time.Duration
+	advertised bool
 }
 
 func (e *shedError) Error() string {
@@ -129,15 +133,18 @@ func (e *shedError) Error() string {
 }
 
 // parseRetryAfter parses a Retry-After header value: delay seconds
-// (RFC 9110 §10.2.3) or an absolute HTTP-date. ok is false on absent or
-// malformed values. Past dates parse to 0 (retry immediately).
+// (RFC 9110 §10.2.3) or an absolute HTTP-date. ok is false only on absent
+// or malformed values. Degenerate-but-parseable advertisements — zero or
+// negative seconds, HTTP-dates in the past — return (0, true): the server
+// did answer, and retryDelay clamps the zero up to the base backoff rather
+// than retrying in a hot loop against an already-overloaded server.
 func parseRetryAfter(v string) (time.Duration, bool) {
 	if v == "" {
 		return 0, false
 	}
 	if secs, err := strconv.Atoi(v); err == nil {
 		if secs < 0 {
-			return 0, false
+			return 0, true
 		}
 		return time.Duration(secs) * time.Second, true
 	}
@@ -151,11 +158,35 @@ func parseRetryAfter(v string) (time.Duration, bool) {
 	return 0, false
 }
 
+// retryDelay picks the wait before the next retry: jittered exponential
+// backoff by default, or — when the shed advertised a parseable
+// Retry-After — the advertised delay clamped into
+// [RetryBackoff, MaxBackoff]. The lower clamp is load-bearing: a server
+// advertising "0", a negative value, or a stale HTTP-date must still buy
+// itself at least one base backoff of breathing room.
+func (c *Client) retryDelay(backoff time.Duration, err error) time.Duration {
+	jittered := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)) //unicolint:allow detclock retry-backoff jitter; search spend is counted in evaluations, not wall time
+	var shed *shedError
+	if !errors.As(err, &shed) || !shed.advertised {
+		return jittered
+	}
+	d := shed.retryAfter
+	if d < c.opts.RetryBackoff {
+		d = c.opts.RetryBackoff
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	return d
+}
+
 // do sends one POST and decodes the JSON response, classifying failures as
 // retryable or not. 4xx responses carry a JSON error body the caller
 // inspects, so they decode normally and are never retried. The request is
 // bound to ctx, so cancellation aborts an in-flight round trip promptly.
-func (c *Client) do(ctx context.Context, path string, body []byte, resp any) error {
+// parent, when valid, rides along as trace headers so the receiving hop's
+// spans nest under this attempt.
+func (c *Client) do(ctx context.Context, path string, body []byte, resp any, parent disttrace.SpanContext) error {
 	_, span := perfprof.Start(ctx, "dist.transport")
 	defer span.End()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
@@ -168,6 +199,7 @@ func (c *Client) do(ctx context.Context, path string, body []byte, resp any) err
 	if id := runid.Current(); id != "" {
 		req.Header.Set(runid.Header, id)
 	}
+	disttrace.Inject(req.Header, parent)
 	httpResp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -180,8 +212,8 @@ func (c *Client) do(ctx context.Context, path string, body []byte, resp any) err
 	if httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode == http.StatusServiceUnavailable {
 		// Load shed (fleet router queue-full, draining worker): honor the
 		// advertised Retry-After instead of treating it as a generic failure.
-		delay, _ := parseRetryAfter(httpResp.Header.Get("Retry-After"))
-		return retryable(&shedError{path: path, status: httpResp.Status, retryAfter: delay})
+		delay, ok := parseRetryAfter(httpResp.Header.Get("Retry-After"))
+		return retryable(&shedError{path: path, status: httpResp.Status, retryAfter: delay, advertised: ok})
 	}
 	if httpResp.StatusCode >= 500 {
 		return retryable(fmt.Errorf("dist: post %s: worker returned %s", path, httpResp.Status))
@@ -218,8 +250,13 @@ func (c *Client) postIdempotent(ctx context.Context, path string, req, resp any)
 // send is the shared retry loop: failures selected by retryOn are retried
 // up to MaxRetries times. The delay between attempts is exponential with
 // jitter, except after a load shed that advertised Retry-After — then the
-// server-advertised delay is honored, capped by Options.MaxBackoff so a
-// misbehaving server cannot park the client for minutes.
+// advertised delay is honored clamped into [RetryBackoff, MaxBackoff], so
+// a misbehaving server can neither park the client for minutes nor spin it
+// (see retryDelay).
+//
+// When tracing is enabled the whole logical call is one "client" span, each
+// HTTP try an "attempt" child (whose context is what propagates to the
+// server), and each retry wait a "backoff" child.
 func (c *Client) send(ctx context.Context, path string, req, resp any, retryOn func(error) bool) error {
 	_, ser := perfprof.Start(ctx, "dist.serialize")
 	body, err := json.Marshal(req)
@@ -227,34 +264,55 @@ func (c *Client) send(ctx context.Context, path string, req, resp any, retryOn f
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", path, err)
 	}
+	span := disttrace.StartSpan(runid.Current(), disttrace.CurrentParent(), "client", path)
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := c.do(ctx, path, body, resp)
+		att := disttrace.StartSpan("", span.Context(), "attempt", path)
+		err := c.do(ctx, path, body, resp, att.Context())
+		att.End(spanStatus(err), nil)
 		if err == nil || attempt >= c.opts.MaxRetries || !retryOn(err) {
+			span.End(spanStatus(err), map[string]string{"attempts": strconv.Itoa(attempt + 1)})
 			return err
 		}
 		telemetry.DistRetries().Inc()
-		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)) //unicolint:allow detclock retry-backoff jitter; search spend is counted in evaluations, not wall time
-		var shed *shedError
-		if errors.As(err, &shed) && shed.retryAfter > 0 {
-			if delay = shed.retryAfter; delay > c.opts.MaxBackoff {
-				delay = c.opts.MaxBackoff
-			}
-		}
+		delay := c.retryDelay(backoff, err)
 		wait := perfprof.NewTimer()
+		bo := disttrace.StartSpan("", span.Context(), "backoff", path)
 		timer := time.NewTimer(delay) //unicolint:allow detclock retry backoff waits real time between attempts; results stay deterministic
 		select {
 		case <-ctx.Done():
 			timer.Stop()
 			wait.ObserveVolatileAs("dist.retry_wait")
+			bo.End("canceled", nil)
+			span.End("canceled", nil)
 			return fmt.Errorf("dist: post %s: %w", path, ctx.Err())
 		case <-timer.C:
 		}
+		bo.End("ok", nil)
 		wait.ObserveVolatileAs("dist.retry_wait")
 		if backoff *= 2; backoff > c.opts.MaxBackoff {
 			backoff = c.opts.MaxBackoff
 		}
 	}
+}
+
+// spanStatus maps a client-side error to a span status label.
+func spanStatus(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var shed *shedError
+	if errors.As(err, &shed) {
+		return "shed"
+	}
+	var r *retryableError
+	if errors.As(err, &r) {
+		return "retryable"
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "canceled"
+	}
+	return "error"
 }
 
 // EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely with
@@ -409,6 +467,13 @@ func (c *Client) AdvanceJobContext(ctx context.Context, id string, budget int) (
 
 // DeleteJob releases a finished job's state on the worker.
 func (c *Client) DeleteJob(id string) error {
+	span := disttrace.StartSpan(runid.Current(), disttrace.CurrentParent(), "client", "/v1/jobs/{id}")
+	err := c.deleteJob(id, span.Context())
+	span.End(spanStatus(err), nil)
+	return err
+}
+
+func (c *Client) deleteJob(id string, parent disttrace.SpanContext) error {
 	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return fmt.Errorf("dist: delete job %s: %w", id, err)
@@ -416,6 +481,7 @@ func (c *Client) DeleteJob(id string) error {
 	if rid := runid.Current(); rid != "" {
 		req.Header.Set(runid.Header, rid)
 	}
+	disttrace.Inject(req.Header, parent)
 	httpResp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dist: delete job %s: %w", id, err)

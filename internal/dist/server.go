@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"unico/internal/camodel"
+	"unico/internal/disttrace"
 	"unico/internal/hw"
 	"unico/internal/maestro"
 	"unico/internal/mapsearch"
@@ -65,12 +66,14 @@ func NewServerWith(spatial mapsearch.SpatialEngine, ascend mapsearch.AscendEngin
 //	GET    /v1/healthz      liveness probe (status "ok" or "draining")
 //	POST   /v1/drain        start draining: finish in-flight jobs, refuse new work
 //	POST   /v1/undrain      return to normal service
+//	GET    /v1/spans        span-log events for one run (disttrace collector)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ppa", s.handlePPA)
 	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	mux.HandleFunc("POST /v1/jobs/advance", s.handleAdvance)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	mux.Handle("GET /v1/spans", disttrace.SpansHandler())
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.health())
 	})
@@ -99,7 +102,7 @@ func routeLabel(r *http.Request) string {
 		return "/v1/jobs/{id}"
 	}
 	switch r.URL.Path {
-	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz", "/v1/drain", "/v1/undrain":
+	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz", "/v1/drain", "/v1/undrain", "/v1/spans":
 		return r.URL.Path
 	}
 	return "other"
@@ -139,8 +142,10 @@ func (s *Server) handlePPA(w http.ResponseWriter, r *http.Request) {
 		refuseDraining(w)
 		return
 	}
+	sp := disttrace.StartFromHeader(r.Header, "shard", "/v1/ppa")
 	var req PPARequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "bad request: " + err.Error()})
 		return
 	}
@@ -148,23 +153,44 @@ func (s *Server) handlePPA(w http.ResponseWriter, r *http.Request) {
 	switch req.Platform {
 	case "spatial":
 		if req.SpatialHW == nil || req.SpatialMapping == nil {
+			sp.End("error", nil)
 			writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "spatial_hw and spatial_mapping required"})
 			return
 		}
+		eng := disttrace.StartSpan("", sp.Context(), "engine", "maestro")
 		met, err := s.spatial.Evaluate(*req.SpatialHW, *req.SpatialMapping, req.Layer)
 		resp = ppaResponse(met, err, maestro.ErrInfeasible)
+		eng.End(engineStatus(resp), nil)
 	case "ascend":
 		if req.AscendHW == nil || req.AscendMapping == nil {
+			sp.End("error", nil)
 			writeJSON(w, http.StatusBadRequest, PPAResponse{Error: "ascend_hw and ascend_mapping required"})
 			return
 		}
+		eng := disttrace.StartSpan("", sp.Context(), "engine", "camodel")
 		met, err := s.ascend.Evaluate(*req.AscendHW, *req.AscendMapping, req.Layer)
 		resp = ppaResponse(met, err, camodel.ErrInfeasible)
+		eng.End(engineStatus(resp), nil)
 	default:
+		sp.End("error", nil)
 		writeJSON(w, http.StatusBadRequest, PPAResponse{Error: fmt.Sprintf("unknown platform %q", req.Platform)})
 		return
 	}
+	sp.End("ok", nil)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// engineStatus labels an engine span: an infeasible or failed evaluation is
+// still an "ok" engine run at the tracing level only when it completed; the
+// distinction the waterfall cares about is captured in the status string.
+func engineStatus(resp PPAResponse) string {
+	switch {
+	case resp.Infeasible:
+		return "infeasible"
+	case resp.Error != "":
+		return "error"
+	}
+	return "ok"
 }
 
 func ppaResponse(met ppa.Metrics, err error, infeasible error) PPAResponse {
@@ -183,16 +209,20 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		refuseDraining(w)
 		return
 	}
+	sp := disttrace.StartFromHeader(r.Header, "shard", "/v1/jobs")
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusBadRequest, JobCreateResponse{Error: "bad request: " + err.Error()})
 		return
 	}
 	searcher, err := s.buildSearcher(spec)
 	if err != nil {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusBadRequest, JobCreateResponse{Error: err.Error()})
 		return
 	}
+	defer sp.End("ok", nil)
 	s.mu.Lock()
 	s.nextID++
 	id := "job-" + strconv.Itoa(s.nextID)
@@ -207,6 +237,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 // the in-flight batch instead of growing with the whole search (the jobs
 // map never shrank before this route existed).
 func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	sp := disttrace.StartFromHeader(r.Header, "shard", "/v1/jobs/{id}")
 	id := r.PathValue("id")
 	s.mu.Lock()
 	_, ok := s.jobs[id]
@@ -214,9 +245,11 @@ func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 	telemetry.DistJobs().Set(float64(len(s.jobs)))
 	s.mu.Unlock()
 	if !ok {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusNotFound, JobDeleteResponse{ID: id, Error: "unknown job"})
 		return
 	}
+	sp.End("ok", nil)
 	writeJSON(w, http.StatusOK, JobDeleteResponse{ID: id, Deleted: true})
 }
 
@@ -295,8 +328,10 @@ func parseAlgo(a string) (mapsearch.Algo, error) {
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	sp := disttrace.StartFromHeader(r.Header, "shard", "/v1/jobs/advance")
 	var req AdvanceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusBadRequest, JobState{Error: "bad request: " + err.Error()})
 		return
 	}
@@ -304,15 +339,21 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	job := s.jobs[req.ID]
 	s.mu.Unlock()
 	if job == nil {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusNotFound, JobState{ID: req.ID, Error: "unknown job"})
 		return
 	}
 	if req.Budget < 0 {
+		sp.End("error", nil)
 		writeJSON(w, http.StatusBadRequest, JobState{ID: req.ID, Error: "negative budget"})
 		return
 	}
 	job.mu.Lock()
 	defer job.mu.Unlock()
+	// The engine span covers budget spend AND state assembly, and is
+	// recorded even for budget-0 polls: unicotrace's chain-completeness
+	// rule (every ok eval has an engine descendant) stays uniform.
+	eng := disttrace.StartSpan("", sp.Context(), "engine", "advance")
 	if req.Budget > 0 {
 		job.searcher.Advance(req.Budget)
 	}
@@ -326,6 +367,8 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		state.Best = met
 		state.Feasible = true
 	}
+	eng.End("ok", map[string]string{"budget": strconv.Itoa(req.Budget)})
+	sp.End("ok", nil)
 	writeJSON(w, http.StatusOK, state)
 }
 

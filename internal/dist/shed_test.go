@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -19,8 +20,11 @@ func TestParseRetryAfter(t *testing.T) {
 		wantOK bool
 	}{
 		{"3", 3 * time.Second, true},
+		// Degenerate advertisements parse as advertised (ok=true) with a
+		// zero delay: retryDelay clamps them up to the base backoff, so a
+		// "retry now" hint never becomes a zero-sleep spin.
 		{"0", 0, true},
-		{"-5", 0, false},
+		{"-5", 0, true},
 		{"", 0, false},
 		{"soon", 0, false},
 		{"1.5", 0, false},
@@ -41,6 +45,72 @@ func TestParseRetryAfter(t *testing.T) {
 	past := time.Now().UTC().Add(-time.Hour).Format(http.TimeFormat)
 	if got, ok := parseRetryAfter(past); !ok || got != 0 {
 		t.Errorf("parseRetryAfter(past date) = %v, %v; want 0, true", got, ok)
+	}
+}
+
+// TestRetryDelayClampsAdvertised: the delay actually slept after a shed is
+// the advertised Retry-After clamped into [RetryBackoff, MaxBackoff];
+// unadvertised sheds and non-shed failures fall back to exponential
+// backoff with jitter.
+func TestRetryDelayClampsAdvertised(t *testing.T) {
+	c := NewClientOptions("http://unused", http.DefaultClient, Options{
+		RetryBackoff: 20 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+	})
+	shed := func(d time.Duration, advertised bool) error {
+		return &shedError{path: "/v1/ppa", status: "429", retryAfter: d, advertised: advertised}
+	}
+	cases := []struct {
+		name    string
+		backoff time.Duration
+		err     error
+		want    time.Duration // exact expected delay; 0 = jittered (range-checked)
+	}{
+		{"advertised zero clamps to base", 20 * time.Millisecond, shed(0, true), 20 * time.Millisecond},
+		{"advertised negative-equivalent clamps to base", 80 * time.Millisecond, shed(0, true), 20 * time.Millisecond},
+		{"advertised below base clamps up", 20 * time.Millisecond, shed(5*time.Millisecond, true), 20 * time.Millisecond},
+		{"advertised in range honored", 20 * time.Millisecond, shed(60*time.Millisecond, true), 60 * time.Millisecond},
+		{"advertised above max capped", 20 * time.Millisecond, shed(5*time.Second, true), 100 * time.Millisecond},
+		{"unadvertised shed uses backoff", 40 * time.Millisecond, shed(0, false), 0},
+		{"non-shed error uses backoff", 40 * time.Millisecond, retryable(errTest), 0},
+	}
+	for _, tc := range cases {
+		got := c.retryDelay(tc.backoff, tc.err)
+		if tc.want != 0 {
+			if got != tc.want {
+				t.Errorf("%s: retryDelay = %v, want %v", tc.name, got, tc.want)
+			}
+			continue
+		}
+		if got < tc.backoff/2 || got > tc.backoff {
+			t.Errorf("%s: retryDelay = %v, want jittered in [%v, %v]", tc.name, got, tc.backoff/2, tc.backoff)
+		}
+	}
+}
+
+var errTest = fmt.Errorf("test failure")
+
+// TestShedZeroRetryAfterDoesNotSpin: a server advertising "0" (or a past
+// HTTP-date, which parses the same) must still buy one base backoff per
+// retry — the pre-fix behavior was an immediate retry against an already
+// overloaded server.
+func TestShedZeroRetryAfterDoesNotSpin(t *testing.T) {
+	base := 30 * time.Millisecond
+	for _, retryAfter := range []string{"0", "-5", time.Now().UTC().Add(-time.Hour).Format(http.TimeFormat)} {
+		c := newSheddingWorker(t, http.StatusTooManyRequests, retryAfter, Options{
+			MaxRetries: 1, RetryBackoff: base, MaxBackoff: time.Second,
+		})
+		start := time.Now()
+		resp, err := c.EvaluatePPA(spatialPPARequest())
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("Retry-After %q: EvaluatePPA after one shed: %v", retryAfter, err)
+		}
+		if resp.Error != "" || !resp.Metrics.Valid() {
+			t.Fatalf("Retry-After %q: response: %+v", retryAfter, resp)
+		}
+		if elapsed < base {
+			t.Errorf("Retry-After %q: retried after %v; want at least the base backoff %v", retryAfter, elapsed, base)
+		}
 	}
 }
 

@@ -1,0 +1,360 @@
+// Package disttrace is a stdlib-only distributed tracing layer for the
+// /v1/* evaluation protocol. A trace is one co-search run (trace ID = run
+// ID); spans cover every hop an eval takes — the client call with its
+// retries and backoff waits, router admission queueing and forwards, shard
+// handling, and the engine evaluation itself.
+//
+// Span records are two JSONL events — "start" and "end" — appended to a
+// per-process span log with the same write-then-fsync discipline as flight
+// records. The ordering guarantee matters: a parent span's start event is
+// durable before any child span exists, in-process and across processes
+// (headers are only injected after the local start is fsynced). A kill -9
+// therefore yields *incomplete* spans (start without end), never orphans
+// (child naming an absent parent); `unicotrace -gate` keys on that.
+//
+// Context propagates over HTTP via the X-Unico-Trace / X-Unico-Parent
+// headers. Extraction falls back to X-Unico-Run-ID for the trace ID, so a
+// shard with tracing enabled still produces correlatable spans when the
+// client predates tracing. A router with tracing disabled passes the
+// headers through untouched.
+//
+// Tracing is off unless a process calls Enable; every entry point is
+// nil-safe and the disabled path is a single atomic pointer load, so
+// instrumented code needs no conditionals and pays nothing when idle.
+package disttrace
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unico/internal/runid"
+	"unico/internal/telemetry"
+)
+
+// Header names carrying span context across the /v1/* protocol.
+const (
+	// TraceHeader carries the trace ID (the run ID of the co-search).
+	TraceHeader = "X-Unico-Trace"
+	// ParentHeader carries the span ID the receiving hop should parent onto.
+	ParentHeader = "X-Unico-Parent"
+)
+
+// SpanContext identifies a span within a trace. The zero value is "no
+// context" and is safe to pass anywhere a context is accepted.
+type SpanContext struct {
+	Trace string
+	Span  string
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" && sc.Span != "" }
+
+// Inject writes the span context into outgoing request headers. A zero
+// context injects nothing.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceHeader, sc.Trace)
+	h.Set(ParentHeader, sc.Span)
+}
+
+// Extract reads span context from incoming request headers. When the trace
+// header is absent it falls back to X-Unico-Run-ID so untraced-but-run-tagged
+// callers still correlate; the parent span is then empty and the receiving
+// span becomes a root.
+func Extract(h http.Header) SpanContext {
+	if trace := h.Get(TraceHeader); trace != "" {
+		return SpanContext{Trace: trace, Span: h.Get(ParentHeader)}
+	}
+	return SpanContext{Trace: h.Get(runid.Header)}
+}
+
+// Event is one line of a span log: half a span. Ev is "start" or "end".
+// Start events carry identity (kind, name, proc, parent); end events carry
+// outcome (status, attrs). Timestamps are microseconds since the Unix epoch.
+type Event struct {
+	Ev     string            `json:"ev"`
+	Trace  string            `json:"trace"`
+	Span   string            `json:"span"`
+	Parent string            `json:"parent,omitempty"`
+	Kind   string            `json:"kind,omitempty"`
+	Name   string            `json:"name,omitempty"`
+	Proc   string            `json:"proc,omitempty"`
+	TimeUS int64             `json:"t_us"`
+	Status string            `json:"status,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// maxStoredTraces bounds the in-memory event store serving /v1/spans; the
+// oldest trace is evicted when a new one would exceed it.
+const maxStoredTraces = 8
+
+// Recorder appends span events to a JSONL log, fsyncing each line, and keeps
+// a bounded in-memory copy per trace for the /v1/spans endpoint. A nil
+// Recorder is a valid no-op.
+type Recorder struct {
+	proc   string
+	prefix string
+	seq    atomic.Uint64
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	err     error
+	byTrace map[string][]Event
+	order   []string // trace IDs, oldest first, for eviction
+}
+
+// NewRecorder opens (appending) a span log at path for a process labeled
+// proc ("client", "router", "shard", "loadgen"). An empty path yields a
+// memory-only recorder, useful for in-process tests and pure serving.
+func NewRecorder(path, proc string) (*Recorder, error) {
+	r := &Recorder{proc: proc, prefix: mintPrefix(), byTrace: map[string][]Event{}}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("disttrace: open span log: %w", err)
+		}
+		r.f = f
+		r.w = bufio.NewWriter(f)
+	}
+	return r, nil
+}
+
+func mintPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the process clock; prefixes only need to be unique
+		// enough that two processes in one fleet don't collide.
+		//unicolint:allow detclock span-ID entropy fallback, not search logic
+		return strconv.FormatInt(time.Now().UnixNano()&0xffffffff, 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (r *Recorder) mintID() string {
+	return "s" + r.prefix + "-" + strconv.FormatUint(r.seq.Add(1), 10)
+}
+
+// Close flushes and closes the underlying span log.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return r.err
+	}
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.f.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.f = nil
+	return r.err
+}
+
+// Err returns the first write error the recorder latched, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// emit appends one event to the in-memory store and, when file-backed,
+// writes and fsyncs the JSONL line before returning. The fsync-per-event
+// cost is the price of the no-orphans guarantee under kill -9.
+func (r *Recorder) emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byTrace[ev.Trace]; !ok {
+		if len(r.order) >= maxStoredTraces {
+			delete(r.byTrace, r.order[0])
+			r.order = r.order[1:]
+		}
+		r.order = append(r.order, ev.Trace)
+	}
+	r.byTrace[ev.Trace] = append(r.byTrace[ev.Trace], ev)
+	if r.f == nil || r.err != nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		r.err = err
+		return
+	}
+	if err := r.w.Flush(); err != nil {
+		r.err = err
+		return
+	}
+	if err := r.f.Sync(); err != nil {
+		r.err = err
+	}
+}
+
+// Events returns a copy of the stored events for one trace.
+func (r *Recorder) Events(trace string) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs := r.byTrace[trace]
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+// Span is a live span handle. A nil *Span is valid and inert, so callers
+// never branch on whether tracing is enabled.
+type Span struct {
+	rec   *Recorder
+	ctx   SpanContext
+	ended atomic.Bool
+}
+
+// Context returns the span's context for injection into child hops; zero
+// when the span is nil.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// End records the span's end event with a status ("ok", "shed", "canceled",
+// "error", ...) and optional attributes. Safe on nil; extra calls after the
+// first are dropped.
+func (s *Span) End(status string, attrs map[string]string) {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.rec.emit(Event{
+		Ev: "end", Trace: s.ctx.Trace, Span: s.ctx.Span,
+		TimeUS: nowUS(), Status: status, Attrs: attrs,
+	})
+}
+
+func nowUS() int64 {
+	//unicolint:allow detclock span timestamps measure real latency by definition
+	return time.Now().UnixMicro()
+}
+
+// active is the process-wide recorder; nil means tracing is disabled and
+// every StartSpan returns nil.
+var active atomic.Pointer[Recorder]
+
+// Enable installs r as the process recorder (nil disables tracing).
+func Enable(r *Recorder) { active.Store(r) }
+
+// Active returns the process recorder, or nil when tracing is disabled.
+func Active() *Recorder { return active.Load() }
+
+// StartSpan opens a span on the process recorder. The trace is taken from
+// parent when parent is valid; a missing trace, or tracing disabled, yields
+// nil. The kind increments unico_trace_spans_total{kind}.
+func StartSpan(trace string, parent SpanContext, kind, name string) *Span {
+	return Active().StartSpan(trace, parent, kind, name)
+}
+
+// StartSpan is the recorder-level form of the package function; nil-safe.
+func (r *Recorder) StartSpan(trace string, parent SpanContext, kind, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	if parent.Valid() {
+		trace = parent.Trace
+	} else {
+		parent = SpanContext{}
+	}
+	if trace == "" {
+		return nil
+	}
+	return r.startWithID(r.mintID(), trace, parent, kind, name)
+}
+
+func (r *Recorder) startWithID(id, trace string, parent SpanContext, kind, name string) *Span {
+	r.emit(Event{
+		Ev: "start", Trace: trace, Span: id, Parent: parent.Span,
+		Kind: kind, Name: name, Proc: r.proc, TimeUS: nowUS(),
+	})
+	telemetry.TraceSpans(kind).Inc()
+	return &Span{rec: r, ctx: SpanContext{Trace: trace, Span: id}}
+}
+
+// StartFromHeader opens a server-side span parented on the extracted
+// incoming context. Returns nil when tracing is disabled or the request
+// carries neither trace nor run-ID headers.
+func StartFromHeader(h http.Header, kind, name string) *Span {
+	sc := Extract(h)
+	return StartSpan(sc.Trace, sc, kind, name)
+}
+
+// runSeq numbers co-search runs within this process so iteration span IDs
+// ("r<run>-it<iter>") stay deterministic: the ID is a pure function of the
+// run ordinal and iteration number, independent of tracing being on, which
+// keeps flight records bit-identical across kill/resume and traced/untraced
+// CI comparisons.
+var runSeq atomic.Int64
+
+// iterParent holds the current iteration's SpanContext as the process-wide
+// parent for client spans. One co-search per process; core runs iterations
+// serially, so a plain atomic slot suffices.
+var iterParent atomic.Value // SpanContext
+
+// BeginRun marks the start of one co-search run for iteration-span naming.
+// Call once per core.Run invocation, traced or not.
+func BeginRun() { runSeq.Add(1) }
+
+// IterationSpanID returns the deterministic span ID for an iteration of the
+// current run.
+func IterationSpanID(iter int) string {
+	return "r" + strconv.FormatInt(runSeq.Load(), 10) + "-it" + strconv.Itoa(iter)
+}
+
+// BeginIteration opens the per-iteration root span and installs it as the
+// process-wide parent for client spans. The returned func ends the span;
+// spanID is empty when tracing is disabled or no run ID is set, so callers
+// can assign it straight into the flight record's omitempty field.
+func BeginIteration(iter int) (end func(), spanID string) {
+	rec := Active()
+	trace := runid.Current()
+	if rec == nil || trace == "" {
+		return func() {}, ""
+	}
+	id := IterationSpanID(iter)
+	s := rec.startWithID(id, trace, SpanContext{}, "iteration", "iter "+strconv.Itoa(iter))
+	iterParent.Store(s.Context())
+	return func() {
+		iterParent.Store(SpanContext{})
+		s.End("ok", nil)
+	}, id
+}
+
+// CurrentParent returns the in-flight iteration's span context, or zero
+// outside an iteration.
+func CurrentParent() SpanContext {
+	if sc, ok := iterParent.Load().(SpanContext); ok {
+		return sc
+	}
+	return SpanContext{}
+}

@@ -1,0 +1,162 @@
+package disttrace
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+	"sort"
+)
+
+// WaterfallHTML renders a self-contained HTML page for one analyzed trace:
+// a summary table, the phase breakdown, and a per-root waterfall with one
+// bar per span positioned on the trace's wall-clock extent. Output is
+// deterministic for a given trace (spans and children are start-time
+// sorted, maps iterated over sorted keys), so it is golden-file testable.
+func WaterfallHTML(t *Trace, a *Analysis) []byte {
+	var b bytes.Buffer
+	startUS, endUS := traceExtent(t)
+	total := float64(endUS - startUS)
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>unico trace %s</title>
+<style>
+body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5em; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.4em; }
+table { border-collapse: collapse; margin: .5em 0; }
+td, th { border: 1px solid #ccd; padding: .2em .6em; text-align: left; }
+th { background: #eef; }
+.lane { position: relative; height: 18px; margin: 1px 0; }
+.lane .label { position: absolute; left: 0; width: 30%%; overflow: hidden;
+  white-space: nowrap; text-overflow: ellipsis; font-family: monospace; font-size: 11px; }
+.lane .track { position: absolute; left: 31%%; right: 0; top: 2px; height: 14px; background: #f4f4fa; }
+.bar { position: absolute; top: 0; height: 100%%; min-width: 2px; border-radius: 2px; }
+.bar.iteration { background: #6b7280; } .bar.client { background: #2563eb; }
+.bar.attempt { background: #60a5fa; } .bar.backoff { background: #f59e0b; }
+.bar.queue { background: #dc2626; } .bar.forward { background: #9333ea; }
+.bar.replay { background: #db2777; } .bar.shard { background: #0d9488; }
+.bar.engine { background: #16a34a; } .bar.unknown { background: #9ca3af; }
+.bar.incomplete { opacity: .45; border: 1px dashed #333; }
+.legend span { display: inline-block; padding: 0 .5em; margin-right: .4em; border-radius: 2px; color: #fff; font-size: 11px; }
+</style></head><body>
+<h1>Trace %s</h1>
+`, html.EscapeString(t.ID), html.EscapeString(t.ID))
+
+	fmt.Fprintf(&b, "<table><tr><th>spans</th><th>orphans</th><th>incomplete spans</th><th>evals</th><th>complete chains</th><th>incomplete chains</th><th>queue p50</th><th>queue p99</th></tr>")
+	fmt.Fprintf(&b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td></tr></table>\n",
+		a.Summary.Spans, a.Summary.Orphans, a.Summary.IncompleteSpans, a.Summary.Evals,
+		a.Summary.CompleteChains, a.Summary.IncompleteChains,
+		fmtSeconds(a.Summary.QueueWaitP50), fmtSeconds(a.Summary.QueueWaitP99))
+
+	b.WriteString("<h2>Phase breakdown (self time)</h2><table><tr><th>kind</th><th>spans</th><th>self seconds</th></tr>\n")
+	kinds := make([]string, 0, len(a.Summary.SpansByKind))
+	for k := range a.Summary.SpansByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+			html.EscapeString(k), a.Summary.SpansByKind[k], fmtSeconds(a.Summary.PhaseSeconds[k]))
+	}
+	b.WriteString("</table>\n")
+
+	b.WriteString(`<h2>Waterfall</h2><div class="legend">`)
+	for _, k := range []string{"iteration", "client", "attempt", "backoff", "queue", "forward", "replay", "shard", "engine"} {
+		fmt.Fprintf(&b, `<span class="bar %s">%s</span>`, k, k)
+	}
+	b.WriteString("</div>\n")
+	for _, root := range t.Roots {
+		writeLane(&b, root, 0, startUS, endUS, total)
+	}
+	for _, n := range t.Orphans {
+		fmt.Fprintf(&b, `<div class="lane"><div class="label">ORPHAN %s %s</div></div>`+"\n",
+			html.EscapeString(n.Kind), html.EscapeString(n.ID))
+	}
+
+	if len(a.Evals) > 0 {
+		b.WriteString("<h2>Per-eval critical paths</h2><table><tr><th>span</th><th>route</th><th>status</th><th>chain</th><th>seconds</th><th>critical path</th></tr>\n")
+		for _, ec := range a.Evals {
+			chain := "complete"
+			if !ec.Complete {
+				chain = "INCOMPLETE"
+			}
+			var cp bytes.Buffer
+			for i, step := range ec.CriticalPath {
+				if i > 0 {
+					cp.WriteString(" &gt; ")
+				}
+				fmt.Fprintf(&cp, "%s %s", html.EscapeString(step.Kind), fmtSeconds(step.Seconds))
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(ec.SpanID), html.EscapeString(ec.Name), html.EscapeString(ec.Status),
+				chain, fmtSeconds(ec.Seconds), cp.String())
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.Bytes()
+}
+
+func traceExtent(t *Trace) (startUS, endUS int64) {
+	for _, n := range t.Spans {
+		if n.StartUS == 0 {
+			continue
+		}
+		if startUS == 0 || n.StartUS < startUS {
+			startUS = n.StartUS
+		}
+		if n.EndUS > endUS {
+			endUS = n.EndUS
+		}
+		if n.StartUS > endUS {
+			endUS = n.StartUS
+		}
+	}
+	return startUS, endUS
+}
+
+func writeLane(b *bytes.Buffer, n *SpanNode, depth int, startUS, endUS int64, total float64) {
+	left := float64(n.StartUS-startUS) / total * 100
+	spanEnd := n.EndUS
+	incomplete := ""
+	if spanEnd == 0 {
+		spanEnd = endUS // draw incomplete spans out to the trace edge
+		incomplete = " incomplete"
+	}
+	width := float64(spanEnd-n.StartUS) / total * 100
+	if width < 0 {
+		width = 0
+	}
+	kind := n.Kind
+	if kind == "" {
+		kind = "unknown"
+	}
+	pad := depth * 8
+	status := n.Status
+	if status == "" {
+		status = "…"
+	}
+	fmt.Fprintf(b, `<div class="lane"><div class="label" style="padding-left:%dpx" title="%s">%s %s [%s]</div>`+
+		`<div class="track"><div class="bar %s%s" style="left:%.3f%%;width:%.3f%%" title="%s %s %s %s"></div></div></div>`+"\n",
+		pad, html.EscapeString(n.ID),
+		html.EscapeString(kind), html.EscapeString(n.Name), html.EscapeString(status),
+		html.EscapeString(kind), incomplete, left, width,
+		html.EscapeString(n.ID), html.EscapeString(n.Proc), fmtSeconds(n.Seconds()), html.EscapeString(status))
+	for _, c := range n.Children {
+		writeLane(b, c, depth+1, startUS, endUS, total)
+	}
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

@@ -1,0 +1,28 @@
+package disttrace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// SpansHandler serves GET /v1/spans?run=<trace> from the process recorder
+// as JSONL events — the same wire shape as the span log, so router-side
+// merges and offline file merges share one parser. An empty body (200)
+// means tracing is disabled or the trace is unknown here; that is not an
+// error, because a fleet may run with tracing on only some members.
+func SpansHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		run := req.URL.Query().Get("run")
+		if run == "" {
+			http.Error(w, "disttrace: missing run parameter", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		for _, ev := range Active().Events(run) {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	})
+}

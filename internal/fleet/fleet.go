@@ -146,6 +146,54 @@ type member struct {
 	// Guarded by Router.mu (state participates in ring membership).
 	state       shardState
 	consecFails int
+	timeline    []ProbeEvent // ring buffer of recent probe outcomes
+}
+
+// maxTimelineEvents bounds each member's health timeline; at the default
+// 2-second probe cadence this is roughly the last eight minutes.
+const maxTimelineEvents = 256
+
+// ProbeEvent is one health-probe outcome on a member's timeline.
+type ProbeEvent struct {
+	UnixMS int64  `json:"unix_ms"`
+	OK     bool   `json:"ok"`
+	State  string `json:"state"` // state after the probe was applied
+}
+
+// ShardTimeline is one member's recent health history.
+type ShardTimeline struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Events []ProbeEvent `json:"events"`
+}
+
+// recordProbe appends one probe outcome to m's timeline.
+func (r *Router) recordProbe(m *member, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.timeline = append(m.timeline, ProbeEvent{
+		//unicolint:allow detclock health timelines are wall-clock observability, not search state
+		UnixMS: time.Now().UnixMilli(),
+		OK:     ok,
+		State:  m.state.String(),
+	})
+	if len(m.timeline) > maxTimelineEvents {
+		m.timeline = m.timeline[len(m.timeline)-maxTimelineEvents:]
+	}
+}
+
+// Timelines snapshots every member's health timeline in configuration
+// order (the /debug/unico/fleet data source).
+func (r *Router) Timelines() []ShardTimeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ShardTimeline, len(r.members))
+	for i, m := range r.members {
+		events := make([]ProbeEvent, len(m.timeline))
+		copy(events, m.timeline)
+		out[i] = ShardTimeline{ID: m.id, State: m.state.String(), Events: events}
+	}
+	return out
 }
 
 // Router is the fleet coordinator. Create with NewRouter; serve its

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"unico/internal/dist"
+	"unico/internal/disttrace"
 	"unico/internal/runid"
 	"unico/internal/telemetry"
 )
@@ -55,6 +56,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fleet/undrain", func(w http.ResponseWriter, req *http.Request) {
 		r.handleDrain(w, req, false)
 	})
+	mux.HandleFunc("GET /v1/spans", r.handleSpans)
 	return telemetry.InstrumentHandler(telemetry.DefaultRegistry, fleetRouteLabel, mux)
 }
 
@@ -64,7 +66,7 @@ func fleetRouteLabel(req *http.Request) string {
 		return "/v1/jobs/{id}"
 	}
 	switch req.URL.Path {
-	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz",
+	case "/v1/ppa", "/v1/jobs", "/v1/jobs/advance", "/v1/healthz", "/v1/spans",
 		"/v1/fleet/members", "/v1/fleet/drain", "/v1/fleet/undrain":
 		return req.URL.Path
 	}
@@ -135,17 +137,25 @@ func (r *Router) handlePPA(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	run := req.Header.Get(runid.Header)
+	parent := disttrace.Extract(req.Header)
 	for _, m := range succ {
+		// Queue wait is its own span so the waterfall separates admission
+		// time from the forward round trip.
+		q := disttrace.StartSpan(run, parent, "queue", m.id)
 		if err := m.adm.acquire(req.Context(), run); err != nil {
 			if errors.Is(err, errShed) {
+				q.End("shed", nil)
 				// Queue-full on the owner is overload, not failure: shed
 				// rather than spill onto other shards (which would wreck
 				// their cache locality and hide the overload).
 				r.shed(w, http.StatusTooManyRequests, "queue-full")
+			} else {
+				q.End("canceled", nil)
 			}
 			return
 		}
-		status, rbody, err := r.forwardTo(req.Context(), m, "/v1/ppa", body, run)
+		q.End("ok", nil)
+		status, rbody, err := r.forwardTo(req.Context(), m, "/v1/ppa", body, run, parent)
 		m.adm.release()
 		if err == nil && status < http.StatusInternalServerError {
 			r.noteSuccess(m)
@@ -187,8 +197,9 @@ func (r *Router) handleCreateJob(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	run := req.Header.Get(runid.Header)
+	parent := disttrace.Extract(req.Header)
 	for _, m := range succ {
-		status, rbody, err := r.forwardTo(req.Context(), m, "/v1/jobs", canon, run)
+		status, rbody, err := r.forwardTo(req.Context(), m, "/v1/jobs", canon, run, parent)
 		if err != nil || status >= http.StatusInternalServerError {
 			r.noteFailure(m)
 			if req.Context().Err() != nil {
@@ -234,6 +245,7 @@ func (r *Router) handleAdvance(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	run := req.Header.Get(runid.Header)
+	parent := disttrace.Extract(req.Header)
 	// One installment at a time per job: advances on the same job are
 	// serialized so replay sees a consistent spent count.
 	rec.mu.Lock()
@@ -242,7 +254,7 @@ func (r *Router) handleAdvance(w http.ResponseWriter, req *http.Request) {
 	// First try the current owner. A draining owner still serves the jobs
 	// it holds — that is the whole point of draining.
 	if owner := rec.shard; owner != nil && r.stateOf(owner) != shardDown {
-		state, ok := r.advanceOn(req.Context(), owner, rec.remoteID, areq.Budget, run)
+		state, ok := r.advanceOn(req.Context(), owner, rec.remoteID, areq.Budget, run, parent)
 		if ok {
 			r.noteSuccess(owner)
 			if state.Error == "" {
@@ -265,7 +277,7 @@ func (r *Router) handleAdvance(w http.ResponseWriter, req *http.Request) {
 		if m == rec.shard {
 			continue // just failed above
 		}
-		state, ok := r.replayOn(req.Context(), m, rec, areq.Budget, run)
+		state, ok := r.replayOn(req.Context(), m, rec, areq.Budget, run, parent)
 		if ok {
 			r.noteSuccess(m)
 			state.ID = areq.ID
@@ -290,9 +302,9 @@ func (r *Router) stateOf(m *member) shardState {
 // advanceOn spends budget on an existing remote job. ok is false when the
 // shard failed in a way that warrants replay elsewhere (transport error,
 // 5xx, or the shard no longer knows the job).
-func (r *Router) advanceOn(ctx context.Context, m *member, remoteID string, budget int, run string) (dist.JobState, bool) {
+func (r *Router) advanceOn(ctx context.Context, m *member, remoteID string, budget int, run string, parent disttrace.SpanContext) (dist.JobState, bool) {
 	body, _ := json.Marshal(dist.AdvanceRequest{ID: remoteID, Budget: budget})
-	status, rbody, err := r.forwardTo(ctx, m, "/v1/jobs/advance", body, run)
+	status, rbody, err := r.forwardTo(ctx, m, "/v1/jobs/advance", body, run, parent)
 	if err != nil || status >= http.StatusInternalServerError || status == http.StatusNotFound {
 		return dist.JobState{}, false
 	}
@@ -305,20 +317,29 @@ func (r *Router) advanceOn(ctx context.Context, m *member, remoteID string, budg
 
 // replayOn re-creates rec's job on shard m and advances it by the job's
 // confirmed spent budget plus the new installment in one call. On success
-// the record's ownership moves to m.
-func (r *Router) replayOn(ctx context.Context, m *member, rec *jobRecord, budget int, run string) (dist.JobState, bool) {
-	status, rbody, err := r.forwardTo(ctx, m, "/v1/jobs", rec.spec, run)
+// the record's ownership moves to m. When tracing is on, the whole replay —
+// job re-creation, cumulative re-advance, and any cleanup — nests under one
+// "replay" span, so a waterfall shows exactly what shard loss cost.
+func (r *Router) replayOn(ctx context.Context, m *member, rec *jobRecord, budget int, run string, parent disttrace.SpanContext) (dist.JobState, bool) {
+	rp := disttrace.StartSpan(run, parent, "replay", m.id)
+	if sc := rp.Context(); sc.Valid() {
+		parent = sc
+	}
+	status, rbody, err := r.forwardTo(ctx, m, "/v1/jobs", rec.spec, run, parent)
 	if err != nil || status != http.StatusOK {
+		rp.End("error", nil)
 		return dist.JobState{}, false
 	}
 	var cresp dist.JobCreateResponse
 	if err := json.Unmarshal(rbody, &cresp); err != nil || cresp.ID == "" {
+		rp.End("error", nil)
 		return dist.JobState{}, false
 	}
-	state, ok := r.advanceOn(ctx, m, cresp.ID, rec.spent+budget, run)
+	state, ok := r.advanceOn(ctx, m, cresp.ID, rec.spent+budget, run, parent)
 	if !ok {
 		// Best effort: don't leak the half-made job on m.
-		r.deleteOn(ctx, m, cresp.ID, run)
+		r.deleteOn(ctx, m, cresp.ID, run, parent)
+		rp.End("error", nil)
 		return dist.JobState{}, false
 	}
 	rec.shard = m
@@ -327,6 +348,7 @@ func (r *Router) replayOn(ctx context.Context, m *member, rec *jobRecord, budget
 		rec.spent = state.Spent
 	}
 	telemetry.FleetReplays().Inc()
+	rp.End("ok", map[string]string{"spent": strconv.Itoa(rec.spent)})
 	return state, true
 }
 
@@ -345,13 +367,13 @@ func (r *Router) handleDeleteJob(w http.ResponseWriter, req *http.Request) {
 	defer rec.mu.Unlock()
 	run := req.Header.Get(runid.Header)
 	if rec.shard != nil && r.stateOf(rec.shard) != shardDown {
-		r.deleteOn(req.Context(), rec.shard, rec.remoteID, run)
+		r.deleteOn(req.Context(), rec.shard, rec.remoteID, run, disttrace.Extract(req.Header))
 	}
 	writeJSON(w, http.StatusOK, dist.JobDeleteResponse{ID: id, Deleted: true})
 }
 
 // deleteOn best-effort deletes a remote job.
-func (r *Router) deleteOn(ctx context.Context, m *member, remoteID, run string) {
+func (r *Router) deleteOn(ctx context.Context, m *member, remoteID, run string, parent disttrace.SpanContext) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, m.id+"/v1/jobs/"+remoteID, nil)
 	if err != nil {
 		return
@@ -359,12 +381,16 @@ func (r *Router) deleteOn(ctx context.Context, m *member, remoteID, run string) 
 	if run != "" {
 		req.Header.Set(runid.Header, run)
 	}
+	fwd := disttrace.StartSpan(run, parent, "forward", "/v1/jobs/{id}")
+	injectForward(req.Header, fwd, parent)
 	resp, err := r.forward.Do(req)
 	if err != nil {
+		fwd.End("error", nil)
 		return
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	fwd.End("ok", nil)
 }
 
 // handleDrain moves a shard in or out of the draining state and forwards
@@ -388,15 +414,18 @@ func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request, drain boo
 	}
 	// Best effort: the router's own routing no longer sends the shard new
 	// work either way.
-	if _, _, err := r.forwardTo(req.Context(), m, path, []byte("{}"), req.Header.Get(runid.Header)); err == nil {
+	if _, _, err := r.forwardTo(req.Context(), m, path, []byte("{}"), req.Header.Get(runid.Header), disttrace.Extract(req.Header)); err == nil {
 		r.noteSuccess(m)
 	}
 	writeJSON(w, http.StatusOK, r.Members())
 }
 
 // forwardTo POSTs body to one shard and returns the status and response
-// body.
-func (r *Router) forwardTo(ctx context.Context, m *member, path string, body []byte, run string) (int, []byte, error) {
+// body. The round trip is observed in unico_fleet_forward_seconds{shard}
+// and, when tracing is on, recorded as a "forward" span whose context the
+// shard parents onto; with router tracing off, the caller's context passes
+// through untouched so the client→shard chain stays linked.
+func (r *Router) forwardTo(ctx context.Context, m *member, path string, body []byte, run string, parent disttrace.SpanContext) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.id+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
@@ -405,16 +434,34 @@ func (r *Router) forwardTo(ctx context.Context, m *member, path string, body []b
 	if run != "" {
 		req.Header.Set(runid.Header, run)
 	}
+	fwd := disttrace.StartSpan(run, parent, "forward", path)
+	injectForward(req.Header, fwd, parent)
+	start := time.Now() //unicolint:allow detclock forward latency is measured against the real clock by definition
 	resp, err := r.forward.Do(req)
+	telemetry.FleetForwardSeconds(m.id).Observe(time.Since(start).Seconds()) //unicolint:allow detclock forward latency is measured against the real clock by definition
 	if err != nil {
+		fwd.End("error", nil)
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	rbody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
+		fwd.End("error", nil)
 		return 0, nil, err
 	}
+	fwd.End("ok", map[string]string{"status": strconv.Itoa(resp.StatusCode)})
 	return resp.StatusCode, rbody, nil
+}
+
+// injectForward propagates span context downstream: the router's own
+// forward span when tracing is on here, otherwise the upstream caller's
+// context unchanged — a tracing-disabled router must not break the chain.
+func injectForward(h http.Header, fwd *disttrace.Span, parent disttrace.SpanContext) {
+	if sc := fwd.Context(); sc.Valid() {
+		disttrace.Inject(h, sc)
+		return
+	}
+	disttrace.Inject(h, parent)
 }
 
 // relay writes a shard's response through unchanged.

@@ -1,0 +1,414 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unico/internal/core"
+	"unico/internal/dist"
+	"unico/internal/disttrace"
+	"unico/internal/hw"
+	"unico/internal/runid"
+)
+
+// runCapture records the X-Unico-Run-ID header of every request each shard
+// receives, keyed by the shard's host (the Host header of a direct HTTP/1
+// connection is the shard's own address).
+type runCapture struct {
+	mu   sync.Mutex
+	seen map[string]map[string][]string // host -> path -> run IDs, in arrival order
+}
+
+func newRunCapture() *runCapture {
+	return &runCapture{seen: map[string]map[string][]string{}}
+}
+
+func (c *runCapture) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		byPath := c.seen[r.Host]
+		if byPath == nil {
+			byPath = map[string][]string{}
+			c.seen[r.Host] = byPath
+		}
+		byPath[r.URL.Path] = append(byPath[r.URL.Path], r.Header.Get(runid.Header))
+		c.mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// runs returns the run IDs a shard saw on one path.
+func (c *runCapture) runs(shardURL, path string) []string {
+	host := strings.TrimPrefix(shardURL, "http://")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.seen[host][path]...)
+}
+
+// setRunID installs a process-wide run ID for the test and restores the
+// previous one afterwards.
+func setRunID(t *testing.T, id string) {
+	t.Helper()
+	prev := runid.Current()
+	runid.Set(id)
+	t.Cleanup(func() { runid.Set(prev) })
+}
+
+// enableTrace installs a span recorder for the test, tracing off afterwards.
+func enableTrace(t *testing.T, path string) *disttrace.Recorder {
+	t.Helper()
+	rec, err := disttrace.NewRecorder(path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := disttrace.Active()
+	disttrace.Enable(rec)
+	t.Cleanup(func() {
+		disttrace.Enable(prev)
+		rec.Close()
+	})
+	return rec
+}
+
+// TestRunIDSurvivesReplayChain: the run ID set by the client must arrive on
+// the shard through the router not just on the direct forward, but on every
+// request the router synthesizes itself — the job re-creation and the
+// cumulative re-advance of a replay after the owner is killed.
+func TestRunIDSurvivesReplayChain(t *testing.T) {
+	capture := newRunCapture()
+	mk := func() http.Handler { return capture.wrap(dist.NewServer().Handler()) }
+	router, rsrv, shards := newTestFleet(t, 2, Options{FailAfter: 1}, mk)
+
+	const myRun = "prop-run-7f3a"
+	setRunID(t, myRun)
+	client := dist.NewClientOptions(rsrv.URL, nil,
+		dist.Options{Timeout: 30 * time.Second, MaxRetries: 3, RetryBackoff: 2 * time.Millisecond})
+
+	space := hw.NewSpatialSpace(hw.Edge)
+	x := space.Encode(hw.Spatial{PEX: 4, PEY: 4, L1Bytes: 864, L2KB: 96, NoCBW: 64})
+	id, err := client.CreateJob(dist.JobSpec{
+		Platform: "spatial", Scenario: "edge",
+		Networks: []string{"MobileNetV3-S"}, X: x, Algo: "flextensor", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the owner and the survivor.
+	var owner, survivor *testShard
+	for _, m := range router.Members() {
+		for _, sh := range shards {
+			if sh.url != m.ID {
+				continue
+			}
+			if m.Jobs == 1 {
+				owner = sh
+			} else {
+				survivor = sh
+			}
+		}
+	}
+	if owner == nil || survivor == nil {
+		t.Fatalf("could not identify job owner and survivor among %d shards", len(shards))
+	}
+
+	// Kill the owner with total state loss; the next advance must replay the
+	// job on the survivor (FailAfter 1 takes the owner off the ring at the
+	// first failed forward).
+	owner.inj.SetDown(true)
+	owner.restart(capture.wrap(dist.NewServer().Handler()))
+
+	state, err := client.AdvanceJob(id, 2)
+	if err != nil {
+		t.Fatalf("AdvanceJob after owner kill: %v", err)
+	}
+	if state.Spent != 2 {
+		t.Errorf("spent %d, want 2", state.Spent)
+	}
+
+	// The replayed create and advance on the survivor are router-synthesized
+	// requests; both must still carry the client's run ID.
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/advance"} {
+		got := capture.runs(survivor.url, path)
+		if len(got) == 0 {
+			t.Errorf("survivor saw no %s request; replay did not happen", path)
+			continue
+		}
+		for i, run := range got {
+			if run != myRun {
+				t.Errorf("survivor %s request %d carried run ID %q, want %q", path, i, run, myRun)
+			}
+		}
+	}
+	// And the original create on the owner carried it too (the single-hop
+	// leg of the chain).
+	if got := capture.runs(owner.url, "/v1/jobs"); len(got) == 0 || got[0] != myRun {
+		t.Errorf("owner /v1/jobs runs = %v, want [%q ...]", got, myRun)
+	}
+}
+
+// TestFleetTraceChainCompleteUnderChaos is the tracing acceptance check: a
+// co-search through a 3-shard fleet with a kill-restart mid-run must leave a
+// span log whose merged trace has zero orphans and a complete
+// client→router→shard→engine chain for every ok remote eval.
+func TestFleetTraceChainCompleteUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-search; skipped in -short")
+	}
+	spanLog := filepath.Join(t.TempDir(), "spans.jsonl")
+	enableTrace(t, spanLog)
+	const run = "trace-chaos-run"
+	setRunID(t, run)
+
+	opt := core.UNICOOptions(4, 2, 10, 3)
+	opt.Workers = 2
+	router, rsrv, shards := newTestFleet(t, 3, Options{FailAfter: 1}, nil)
+	client := dist.NewClientOptions(rsrv.URL, nil, dist.Options{
+		Timeout: 30 * time.Second, MaxRetries: 4,
+		RetryBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+	})
+	p, err := dist.NewRemoteSpatialPlatform([]*dist.Client{client}, hw.Edge, []string{"MobileNetV3-S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan core.Result, 1)
+	go func() { done <- core.Run(p, opt) }()
+
+	victim := shards[1]
+	waitUntil(t, func() bool { return victim.hits.Load() >= 1 })
+	victim.inj.SetDown(true)
+	victim.restart(dist.NewServer().Handler())
+	time.Sleep(50 * time.Millisecond)
+	victim.inj.SetDown(false)
+	router.ProbeAll(context.Background())
+
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("co-search did not complete")
+	}
+
+	events, skipped, err := disttrace.LoadFiles(spanLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("span log has %d malformed/duplicate lines, want 0", skipped)
+	}
+	var tr *disttrace.Trace
+	for _, cand := range disttrace.BuildTraces(events) {
+		if cand.ID == run {
+			tr = cand
+		}
+	}
+	if tr == nil {
+		t.Fatalf("no trace %q in span log", run)
+	}
+	a := disttrace.Analyze(tr)
+	s := a.Summary
+
+	if s.Orphans != 0 {
+		t.Errorf("%d orphan spans, want 0 (fsynced start-before-child must prevent them)", s.Orphans)
+	}
+	if s.IncompleteChains != 0 {
+		t.Errorf("%d ok evals without a complete client→…→engine chain, want 0", s.IncompleteChains)
+	}
+	if s.Evals == 0 || s.CompleteChains == 0 {
+		t.Fatalf("evals=%d complete=%d; the co-search produced no traced remote evals", s.Evals, s.CompleteChains)
+	}
+	// Every hop of the distributed chain must appear in the trace: the
+	// client side, the router's forward, the shard handler, and the engine.
+	for _, kind := range []string{"iteration", "client", "attempt", "forward", "shard", "engine"} {
+		if s.SpansByKind[kind] == 0 {
+			t.Errorf("no %q spans in trace; the %s hop is not instrumented end to end", kind, kind)
+		}
+	}
+	t.Logf("trace %s: %d spans, %d evals (%d complete chains), kinds %v",
+		s.Trace, s.Spans, s.Evals, s.CompleteChains, s.SpansByKind)
+}
+
+// TestHandleSpansMergesShardSpans: the router's /v1/spans collector merges
+// its own events with every member's pull into one deduplicated JSONL
+// stream (in-process, all components share one recorder, so the dedup path
+// is exactly what's exercised).
+func TestHandleSpansMergesShardSpans(t *testing.T) {
+	enableTrace(t, filepath.Join(t.TempDir(), "spans.jsonl"))
+	_, rsrv, _ := newTestFleet(t, 2, Options{}, nil)
+
+	const run = "merge-run"
+	parent := disttrace.StartSpan(run, disttrace.SpanContext{}, "client", "/v1/ppa")
+	child := disttrace.StartSpan("", parent.Context(), "attempt", "/v1/ppa")
+	child.End("ok", nil)
+	parent.End("ok", nil)
+
+	resp, err := http.Get(rsrv.URL + "/v1/spans?run=" + run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/spans status %d", resp.StatusCode)
+	}
+	events, _, err := disttrace.ParseEvents(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Router + 2 members all hold the same process-wide recorder; the merged
+	// stream must collapse the three copies into the 4 unique events.
+	if len(events) != 4 {
+		t.Fatalf("merged stream has %d unique events, want 4", len(events))
+	}
+	traces := disttrace.BuildTraces(events)
+	if len(traces) != 1 || len(traces[0].Orphans) != 0 || len(traces[0].Incomplete) != 0 {
+		t.Fatalf("merged trace unhealthy: %+v", traces)
+	}
+
+	// Missing run parameter is a client error.
+	bad, err := http.Get(rsrv.URL + "/v1/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /v1/spans without run = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestFleetMetricsAggregatesAndRelabels: /metrics/fleet regroups each
+// member's exposition by family, injects shard labels, and reports scrape
+// health per member.
+func TestFleetMetricsAggregatesAndRelabels(t *testing.T) {
+	mk := func() http.Handler {
+		mux := http.NewServeMux()
+		mux.Handle("/", dist.NewServer().Handler())
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "# HELP unico_http_requests_total Total HTTP requests.\n"+
+				"# TYPE unico_http_requests_total counter\n"+
+				"unico_http_requests_total{route=\"/v1/ppa\"} 3\n"+
+				"# HELP unico_evals_inflight Evaluations in flight.\n"+
+				"# TYPE unico_evals_inflight gauge\n"+
+				"unico_evals_inflight 1\n")
+		})
+		return mux
+	}
+	router, _, shards := newTestFleet(t, 2, Options{FailAfter: 1}, mk)
+
+	srv := httptest.NewServer(router.FleetMetricsHandler())
+	t.Cleanup(srv.Close)
+	get := func() string {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	body := get()
+	// Each family appears exactly once, with both shards' relabeled series.
+	if n := strings.Count(body, "# TYPE unico_http_requests_total counter"); n != 1 {
+		t.Errorf("family header appears %d times, want 1\n%s", n, body)
+	}
+	for _, sh := range shards {
+		labeled := fmt.Sprintf("unico_http_requests_total{shard=%q,route=\"/v1/ppa\"} 3", sh.url)
+		if !strings.Contains(body, labeled) {
+			t.Errorf("missing relabeled series %q in:\n%s", labeled, body)
+		}
+		bare := fmt.Sprintf("unico_evals_inflight{shard=%q} 1", sh.url)
+		if !strings.Contains(body, bare) {
+			t.Errorf("missing label-injected series %q in:\n%s", bare, body)
+		}
+		if ok := fmt.Sprintf("unico_fleet_scrape_ok{shard=%q} 1", sh.url); !strings.Contains(body, ok) {
+			t.Errorf("missing %q in:\n%s", ok, body)
+		}
+	}
+
+	// A dead shard degrades to scrape_ok 0; the survivor's series remain.
+	shards[1].inj.SetDown(true)
+	body = get()
+	if down := fmt.Sprintf("unico_fleet_scrape_ok{shard=%q} 0", shards[1].url); !strings.Contains(body, down) {
+		t.Errorf("dead shard not reported: want %q in:\n%s", down, body)
+	}
+	if up := fmt.Sprintf("unico_fleet_scrape_ok{shard=%q} 1", shards[0].url); !strings.Contains(body, up) {
+		t.Errorf("live shard not reported: want %q in:\n%s", up, body)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	cases := []struct{ line, want string }{
+		{`unico_x_total{route="/v1/ppa"} 3`, `unico_x_total{shard="s1",route="/v1/ppa"} 3`},
+		{`unico_x_total{} 3`, `unico_x_total{shard="s1"} 3`},
+		{`unico_x_total 3`, `unico_x_total{shard="s1"} 3`},
+		// A '{' after the value must not be mistaken for a label set.
+		{`unico_x_total 3 # {trace}`, `unico_x_total{shard="s1"} 3 # {trace}`},
+	}
+	for _, c := range cases {
+		if got := relabel(c.line, "s1"); got != c.want {
+			t.Errorf("relabel(%q) = %q, want %q", c.line, got, c.want)
+		}
+	}
+}
+
+// TestTimelinesRecordProbeHistory: every ProbeAll appends one event per
+// shard, bounded, reflecting the state the probe left the shard in — and
+// the debug page serves them.
+func TestTimelinesRecordProbeHistory(t *testing.T) {
+	router, _, shards := newTestFleet(t, 2, Options{FailAfter: 1}, nil)
+	router.ProbeAll(context.Background())
+	shards[1].inj.SetDown(true)
+	router.ProbeAll(context.Background())
+
+	tls := router.Timelines()
+	if len(tls) != 2 {
+		t.Fatalf("%d timelines, want 2", len(tls))
+	}
+	for i, tl := range tls {
+		if tl.ID != shards[i].url {
+			t.Errorf("timeline %d is for %s, want config order %s", i, tl.ID, shards[i].url)
+		}
+		if len(tl.Events) != 2 {
+			t.Fatalf("shard %d has %d probe events, want 2", i, len(tl.Events))
+		}
+	}
+	if ev := tls[0].Events[1]; !ev.OK || ev.State != "active" {
+		t.Errorf("healthy shard's last probe = %+v, want ok/active", ev)
+	}
+	if ev := tls[1].Events[1]; ev.OK || ev.State != "down" {
+		t.Errorf("killed shard's last probe = %+v, want failed/down", ev)
+	}
+
+	dsrv := httptest.NewServer(router.DebugHandler())
+	t.Cleanup(dsrv.Close)
+	resp, err := http.Get(dsrv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"state":"down"`) {
+		t.Errorf("debug JSON missing down shard: %s", body)
+	}
+	hresp, err := http.Get(dsrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	hbody, _ := io.ReadAll(hresp.Body)
+	if !strings.Contains(string(hbody), "Fleet health") || !strings.Contains(string(hbody), `class="fail"`) {
+		t.Errorf("debug HTML missing health table or failed-probe marker")
+	}
+}

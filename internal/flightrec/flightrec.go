@@ -166,6 +166,13 @@ type Iteration struct {
 	// deterministic function of the run configuration, preserving the
 	// kill/resume bit-identity contract.
 	Phases []perfprof.PhaseDelta `json:"phases,omitempty"`
+	// TraceSpan cross-references the distributed-trace span of this
+	// iteration (internal/disttrace, "r<run>-it<iter>"). The ID is a pure
+	// function of the run ordinal and iteration number, and the field is
+	// absent entirely when tracing is disabled — both properties keep
+	// flight records bit-identical across kill/resume and across
+	// traced/untraced comparison runs.
+	TraceSpan string `json:"trace_span,omitempty"`
 }
 
 // Summary is the artifact's final line, written when a run returns. A killed

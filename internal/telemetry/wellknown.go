@@ -532,6 +532,87 @@ func fleetMetrics() {
 	})
 }
 
+var (
+	fleetForwardMu sync.Mutex
+	fleetForward   = map[string]*Histogram{}
+)
+
+// fleetForwardBuckets span router→shard forward round trips from a loopback
+// cache hit (sub-ms) through a long budget installment advancing a
+// mapping-search job (minutes).
+var fleetForwardBuckets = []float64{
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// FleetForwardSeconds observes one shard's forward round-trip latency — the
+// full router-side view of a request handed to that shard, network included.
+func FleetForwardSeconds(shard string) *Histogram {
+	fleetForwardMu.Lock()
+	defer fleetForwardMu.Unlock()
+	h := fleetForward[shard]
+	if h == nil {
+		if len(fleetForward) >= maxShardLabels {
+			shard = "other"
+			if h = fleetForward[shard]; h != nil {
+				return h
+			}
+		}
+		h = DefaultRegistry.Histogram("unico_fleet_forward_seconds",
+			"Router-to-shard forward round-trip latency per shard.", fleetForwardBuckets,
+			Labels{"shard": shard})
+		fleetForward[shard] = h
+	}
+	return h
+}
+
+var (
+	traceSpansMu sync.Mutex
+	traceSpans   = map[string]*Counter{}
+)
+
+// maxTraceKindLabels caps the distinct span-kind labels; kinds are a fixed
+// vocabulary in internal/disttrace, so the cap only guards misuse.
+const maxTraceKindLabels = 32
+
+// TraceSpans counts distributed-trace spans started, by kind ("client",
+// "attempt", "backoff", "queue", "forward", "replay", "shard", "engine",
+// "iteration").
+func TraceSpans(kind string) *Counter {
+	traceSpansMu.Lock()
+	defer traceSpansMu.Unlock()
+	c := traceSpans[kind]
+	if c == nil {
+		if len(traceSpans) >= maxTraceKindLabels {
+			kind = "other"
+			if c = traceSpans[kind]; c != nil {
+				return c
+			}
+		}
+		c = DefaultRegistry.Counter("unico_trace_spans_total",
+			"Distributed-trace spans started, by span kind.", Labels{"kind": kind})
+		traceSpans[kind] = c
+	}
+	return c
+}
+
+var (
+	traceOrphansOnce sync.Once
+	traceOrphans     *Counter
+)
+
+// TraceOrphans counts orphan spans — spans naming a parent absent from the
+// merged trace — detected when the fleet router merges member span logs. The
+// tracing write discipline (a parent's start record is fsynced before any
+// child starts) makes this zero even through shard kill -9; nonzero means a
+// span log was lost or truncated.
+func TraceOrphans() *Counter {
+	traceOrphansOnce.Do(func() {
+		traceOrphans = DefaultRegistry.Counter("unico_trace_orphans_total",
+			"Orphan spans detected at router-side trace merges.", nil)
+	})
+	return traceOrphans
+}
+
 // FleetRebalances counts hash-ring rebuilds caused by membership changes.
 func FleetRebalances() *Counter { fleetMetrics(); return fleetRebalances }
 

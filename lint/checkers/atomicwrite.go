@@ -9,7 +9,7 @@ import (
 // persistSegments are the packages that own durable artifacts (write-ahead
 // journals, snapshots, flight records, cache warm-start files). PR 3 made
 // their crash safety contractual: every write is tmp + fsync + rename.
-var persistSegments = []string{"checkpoint", "flightrec", "evalcache"}
+var persistSegments = []string{"checkpoint", "flightrec", "evalcache", "disttrace"}
 
 // NewAtomicWrite returns the durable-write analyzer. Two rules:
 //
@@ -24,7 +24,7 @@ func NewAtomicWrite() *analysis.Analyzer {
 	a := &analysis.Analyzer{
 		Name: "atomicwrite",
 		Doc: "os.Rename must be preceded by a Sync() of the source file in the same function, and the " +
-			"persistence packages (checkpoint, flightrec, evalcache) may not use os.WriteFile at all",
+			"persistence packages (checkpoint, flightrec, evalcache, disttrace) may not use os.WriteFile at all",
 	}
 	a.Run = func(pass *analysis.Pass) error {
 		persist := anySegment(pass.Path, persistSegments)

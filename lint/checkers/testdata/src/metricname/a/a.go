@@ -11,11 +11,17 @@ func registrations(reg *telemetry.Registry) {
 	telemetry.DefaultRegistry.Gauge("unico_queue_depth", "help", nil)
 	reg.Histogram("unico_latency_seconds", "help", nil, nil)
 
-	telemetry.DefaultRegistry.Counter("bad_prefix_total", "help", nil) // want `does not match`
-	telemetry.DefaultRegistry.Counter("unico_CamelCase", "help", nil)  // want `does not match`
-	telemetry.DefaultRegistry.Gauge("unico_", "help", nil)             // want `does not match`
-	telemetry.DefaultRegistry.Counter(dynamic, "help", nil)            // want `must be a string literal`
-	reg.Counter("unico_"+"concat_total", "help", nil)                  // want `must be a string literal`
+	// The distributed-tracing series follow the same contract.
+	telemetry.DefaultRegistry.Counter("unico_trace_spans_total", "help", nil)
+	telemetry.DefaultRegistry.Counter("unico_trace_orphans_total", "help", nil)
+	reg.Histogram("unico_fleet_forward_seconds", "help", nil, nil)
+
+	telemetry.DefaultRegistry.Counter("bad_prefix_total", "help", nil)        // want `does not match`
+	telemetry.DefaultRegistry.Counter("unico_trace_Spans_total", "help", nil) // want `does not match`
+	telemetry.DefaultRegistry.Counter("unico_CamelCase", "help", nil)         // want `does not match`
+	telemetry.DefaultRegistry.Gauge("unico_", "help", nil)                    // want `does not match`
+	telemetry.DefaultRegistry.Counter(dynamic, "help", nil)                   // want `must be a string literal`
+	reg.Counter("unico_"+"concat_total", "help", nil)                         // want `must be a string literal`
 }
 
 // Methods of the same names on other types are not registrations.
