@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test bench bench-gate lint lint-verbose lint-test fmt tidy check
+.PHONY: build test race bench bench-gate lint lint-verbose lint-json lint-test fmt tidy check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+## race runs both modules' tests under the race detector — the CI race job
+## runs exactly this target.
+race:
+	$(GO) test -race ./...
+	cd lint && $(GO) test -race ./...
 
 ## bench records the canonical benchmarks (internal/benchmarks) into a
 ## BENCH_<rev>.json trajectory point; bench-gate replays the pinned CI
@@ -20,13 +26,18 @@ bench-gate:
 	$(GO) run ./cmd/unicobench -diff -tol 3 BENCH_baseline.json BENCH_ci.json
 
 ## lint runs unicolint (the in-repo analysis suite under lint/) over the
-## whole root module. The lint module is nested so the root module stays
-## dependency-free; -C .. points the driver back at the repo root.
+## whole root module: all nine analyzers, failing on any unsuppressed
+## finding and on any stale allow directive. The lint module is nested so
+## the root module stays dependency-free; -C .. points the driver back at
+## the repo root.
 lint:
-	cd lint && $(GO) run ./cmd/unicolint -C .. ./...
+	cd lint && $(GO) run ./cmd/unicolint -C .. -stale-allows ./...
 
 lint-verbose:
 	cd lint && $(GO) run ./cmd/unicolint -C .. -verbose ./...
+
+lint-json:
+	cd lint && $(GO) run ./cmd/unicolint -C .. -json ./...
 
 lint-test:
 	cd lint && $(GO) vet ./... && $(GO) test ./...
@@ -38,4 +49,4 @@ tidy:
 	$(GO) mod tidy -diff
 	cd lint && $(GO) mod tidy -diff
 
-check: fmt tidy build test lint-test lint
+check: fmt tidy build test race lint-test lint

@@ -90,6 +90,7 @@ func NSGAII(p core.Platform, o NSGAIIOptions) core.Result {
 		sem := make(chan struct{}, o.Workers)
 		for i, x := range xs {
 			wg.Add(1)
+			//unicolint:allow ctxflow bounded local semaphore: every slot is released by a worker goroutine that always terminates; no remote peer can wedge the send
 			sem <- struct{}{}
 			go func(i int, x []float64) {
 				defer wg.Done()

@@ -240,6 +240,7 @@ var penaltyMetrics = ppa.Metrics{
 // Run executes Algorithm 1 on the platform with a background context; see
 // RunContext.
 func Run(p Platform, opt Options) Result {
+	//unicolint:allow ctxflow compatibility wrapper; cancellable callers use RunContext
 	return RunContext(context.Background(), p, opt)
 }
 

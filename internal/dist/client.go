@@ -318,6 +318,7 @@ func spanStatus(err error) string {
 // EvaluatePPA evaluates one (hardware, mapping, layer) triple remotely with
 // a background context; see EvaluatePPAContext.
 func (c *Client) EvaluatePPA(req PPARequest) (PPAResponse, error) {
+	//unicolint:allow ctxflow compatibility wrapper for the Platform interface; context-aware callers use EvaluatePPAContext
 	return c.EvaluatePPAContext(context.Background(), req)
 }
 
@@ -429,6 +430,7 @@ func cacheKeyFor(req *PPARequest) (evalcache.Key, string, bool) {
 // CreateJob creates a mapping-search job on the worker with a background
 // context; see CreateJobContext.
 func (c *Client) CreateJob(spec JobSpec) (string, error) {
+	//unicolint:allow ctxflow compatibility wrapper; context-aware callers use CreateJobContext
 	return c.CreateJobContext(context.Background(), spec)
 }
 
@@ -448,6 +450,7 @@ func (c *Client) CreateJobContext(ctx context.Context, spec JobSpec) (string, er
 // AdvanceJob spends budget on a job with a background context; see
 // AdvanceJobContext.
 func (c *Client) AdvanceJob(id string, budget int) (JobState, error) {
+	//unicolint:allow ctxflow compatibility wrapper; context-aware callers use AdvanceJobContext
 	return c.AdvanceJobContext(context.Background(), id, budget)
 }
 
@@ -465,16 +468,25 @@ func (c *Client) AdvanceJobContext(ctx context.Context, id string, budget int) (
 	return state, nil
 }
 
-// DeleteJob releases a finished job's state on the worker.
+// DeleteJob releases a finished job's state on the worker with a background
+// context; see DeleteJobContext.
 func (c *Client) DeleteJob(id string) error {
+	//unicolint:allow ctxflow compatibility wrapper mirroring CreateJob/AdvanceJob; context-aware callers use DeleteJobContext
+	return c.DeleteJobContext(context.Background(), id)
+}
+
+// DeleteJobContext releases a finished job's state on the worker.
+// Cancelling ctx aborts the in-flight request; the delete is idempotent on
+// the worker, so a caller may safely retry after a cancellation.
+func (c *Client) DeleteJobContext(ctx context.Context, id string) error {
 	span := disttrace.StartSpan(runid.Current(), disttrace.CurrentParent(), "client", "/v1/jobs/{id}")
-	err := c.deleteJob(id, span.Context())
+	err := c.deleteJob(ctx, id, span.Context())
 	span.End(spanStatus(err), nil)
 	return err
 }
 
-func (c *Client) deleteJob(id string, parent disttrace.SpanContext) error {
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+func (c *Client) deleteJob(ctx context.Context, id string, parent disttrace.SpanContext) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return fmt.Errorf("dist: delete job %s: %w", id, err)
 	}
@@ -505,9 +517,22 @@ func (c *Client) Healthy() bool {
 	return err == nil && h.Status == StatusOK
 }
 
-// Health fetches the worker's health status.
+// Health fetches the worker's health status with a background context; see
+// HealthContext.
 func (c *Client) Health() (HealthResponse, error) {
-	resp, err := c.hc.Get(c.base + "/v1/healthz")
+	//unicolint:allow ctxflow compatibility wrapper; context-aware callers (the fleet router's probes) use HealthContext
+	return c.HealthContext(context.Background())
+}
+
+// HealthContext fetches the worker's health status. Cancelling ctx aborts
+// the probe — health checks against a wedged worker must not outlive the
+// prober's own deadline.
+func (c *Client) HealthContext(ctx context.Context) (HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return HealthResponse{}, fmt.Errorf("dist: health %s: %w", c.base, err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return HealthResponse{}, fmt.Errorf("dist: health %s: %w", c.base, err)
 	}
@@ -547,6 +572,7 @@ func NewRemoteJob(client *Client, spec JobSpec) (*remoteJob, error) {
 // reports no feasible result afterwards, which the co-optimizer treats as an
 // infeasible candidate rather than crashing the whole search.
 func (j *remoteJob) Advance(budget int) {
+	//unicolint:allow ctxflow compatibility wrapper for the mapsearch.Searcher interface; the scheduler drives AdvanceContext
 	j.AdvanceContext(context.Background(), budget)
 }
 

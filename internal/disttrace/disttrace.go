@@ -206,6 +206,7 @@ func (r *Recorder) emit(ev Event) {
 		r.err = err
 		return
 	}
+	//unicolint:allow locksafe WAL ordering: the span append+fsync must be atomic under r.mu or concurrent emits could interleave records
 	if err := r.f.Sync(); err != nil {
 		r.err = err
 	}

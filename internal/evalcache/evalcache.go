@@ -196,6 +196,7 @@ func (c *Cache) Do(key Key, engine string, compute func() (ppa.Metrics, error)) 
 		s.mu.Unlock()
 		c.waits.Add(1)
 		telemetry.EvalCacheInflightWaits().Inc()
+		//unicolint:allow ctxflow singleflight followers wait for the leader, whose computation carries the caller-side cancellation; the channel closes on every leader path
 		<-cl.done
 		t.ObserveVolatileAs("evalcache.wait")
 		return cl.met, cl.err

@@ -142,11 +142,11 @@ func (c *Cache) SaveFile(path string) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := c.WriteJSONL(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("evalcache: save %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -157,6 +157,7 @@ func (c *Cache) SaveFile(path string) error {
 	}
 	// Best-effort directory sync makes the rename itself durable.
 	if d, err := os.Open(dir); err == nil {
+		//unicolint:allow durerr directory fsync is best-effort: some filesystems reject fsync on directories; file durability is carried by the checked tmp.Sync above
 		_ = d.Sync()
 		_ = d.Close()
 	}

@@ -87,6 +87,7 @@ type Scale struct {
 func (s Scale) run(name string, p core.Platform, opt core.Options) core.Result {
 	ctx := s.Context
 	if ctx == nil {
+		//unicolint:allow ctxflow explicit opt-out: a nil Scale.Context means the experiment owns its lifetime end-to-end
 		ctx = context.Background()
 	}
 	if s.SearchWorkers > 0 {

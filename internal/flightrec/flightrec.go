@@ -267,7 +267,7 @@ func Create(path string, hdr Header) (*Recorder, error) {
 	r := &Recorder{f: f, w: bufio.NewWriter(f)}
 	hdr.Type = TypeHeader
 	if err := r.writeLine(hdr); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return r, nil
@@ -296,15 +296,15 @@ func Resume(path string, hdr Header, lastIter int) (*Recorder, error) {
 	keep, lastKept, ok := scanKeepPrefix(f, lastIter)
 	if !ok {
 		// No parseable header: start over rather than appending to garbage.
-		f.Close()
+		_ = f.Close()
 		return Create(path, hdr)
 	}
 	if err := f.Truncate(keep); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("flightrec: truncate %s: %w", path, err)
 	}
 	if _, err := f.Seek(keep, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("flightrec: seek %s: %w", path, err)
 	}
 	r := &Recorder{f: f, w: bufio.NewWriter(f), last: lastKept}

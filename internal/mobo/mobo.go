@@ -304,6 +304,7 @@ func (o *Optimizer) maximizeAcquisition(lambda []float64, exclude map[string]boo
 	// Parallel phase 1: score the pool into indexed slots.
 	scores := make([]float64, len(pool))
 	sp := perfprof.Begin("mobo.acq_pool")
+	//unicolint:allow ctxflow CPU-bound local scoring pool; ForEach returns when our own workers finish, there is no remote peer to hang on
 	parpool.ForEach(o.cfg.SearchWorkers, len(pool), func(i int) {
 		if o.excluded(pool[i], exclude) {
 			scores[i] = math.Inf(1)

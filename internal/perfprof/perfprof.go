@@ -150,6 +150,7 @@ func (p *Profiler) startSpan(ctx context.Context, name string, c *simclock.Clock
 		s.sim0 = c.Seconds()
 	}
 	if ctx == nil {
+		//unicolint:allow ctxflow nil-ctx fallback for Begin call sites; the profiler context only carries the span path, never cancellation
 		ctx = context.Background()
 	}
 	return context.WithValue(ctx, ctxKey{}, path), s

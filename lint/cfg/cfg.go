@@ -1,0 +1,508 @@
+// Package cfg builds intraprocedural control-flow graphs from go/ast
+// function bodies, using only the standard library.
+//
+// The upstream golang.org/x/tools/go/cfg package does the same job for the
+// go/analysis ecosystem; unicolint cannot depend on it (the repo rule is
+// stdlib only), so this is a small re-implementation shaped for the
+// dataflow analyzers in unico/lint/checkers. A Graph is a set of basic
+// Blocks connected by successor edges:
+//
+//   - statements and the expressions that control branches are appended to
+//     Block.Nodes in execution order;
+//   - if/for/range/switch/type-switch/select/goto and labeled
+//     break/continue produce the expected edges, including loop back-edges
+//     and the fall-through edge of a select with a default clause;
+//   - return statements, panic calls and calls that never return
+//     (os.Exit, log.Fatal*, runtime.Goexit) edge to the synthetic Exit
+//     block, so "the function can terminate" is exactly "Exit is reachable
+//     from Entry";
+//   - defer statements are recorded in source order on Graph.Defers in
+//     addition to appearing as ordinary nodes, because deferred calls run
+//     on every path that passed their registration — including panic
+//     unwinding — which release-analyses must model separately.
+//
+// The graph is intraprocedural and syntactic: it does not follow calls and
+// treats every non-terminating call as returning normally. That is the
+// right precision for the lint analyzers built on top: they want "is there
+// a path", not "is the path feasible".
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // synthetic; reached by return, panic, and falling off the end
+	Blocks []*Block
+
+	// Defers lists every defer statement in the body, outermost function
+	// literal only, in source order. Deferred calls execute on all paths
+	// that executed the registration, including panics.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: a maximal run of nodes with a single entry and
+// single exit point.
+type Block struct {
+	Index int
+	Kind  string // diagnostic label: "entry", "if.then", "for.body", ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	reachOnce bool // scratch for Reachable
+}
+
+// New builds the graph for one function body. A nil body (declaration
+// without body) yields a trivial entry→exit graph.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	cur := b.g.Entry
+	if body != nil {
+		cur = b.stmts(cur, body.List)
+	}
+	b.edge(cur, b.g.Exit) // falling off the end returns
+	b.resolveGotos()
+	b.prune()
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+// FuncGraph builds the graph for a function declaration.
+func FuncGraph(fn *ast.FuncDecl) *Graph { return New(fn.Body) }
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// ExitReachable reports whether any path from Entry reaches Exit — that is,
+// whether the function can terminate (return, panic, or fall off the end).
+func (g *Graph) ExitReachable() bool {
+	return g.Reachable()[g.Exit]
+}
+
+// String renders the graph in a stable, compact text form for tests:
+// one line per block, "index kind -> succ,succ".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d %s ->", b.Index, b.Kind)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// builder carries the state of one graph construction.
+type builder struct {
+	g *Graph
+
+	// break/continue resolution. Each enclosing breakable/continuable
+	// construct pushes a frame; labeled statements record the label.
+	frames []frame
+
+	// goto resolution: label → target block, and pending jumps.
+	labels  map[string]*Block
+	pending []pendingGoto
+}
+
+type frame struct {
+	label   string // "" for unlabeled constructs
+	breakTo *Block
+	contTo  *Block // nil for switch/select frames
+	isLoop  bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   token.Pos
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads a statement list through the graph, returning the block
+// control falls out of (which may be a fresh unreachable block after a
+// terminating statement).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		then := b.newBlock("if.then")
+		b.edge(cur, then)
+		after := b.newBlock("if.done")
+		out := b.stmts(then, s.Body.List)
+		b.edge(out, after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cur, els)
+			out := b.stmt(els, s.Else)
+			b.edge(out, after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		return b.forStmt(cur, s, "")
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, s, "")
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, s, "")
+
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, s, "")
+
+	case *ast.LabeledStmt:
+		// The label names the following statement; loops and switches
+		// consume it for labeled break/continue, anything else becomes a
+		// goto target.
+		target := b.newBlock("label." + s.Label.Name)
+		b.edge(cur, target)
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = target
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			return b.forStmt(target, inner, s.Label.Name)
+		case *ast.RangeStmt:
+			return b.rangeStmt(target, inner, s.Label.Name)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			return b.switchStmt(target, inner, s.Label.Name)
+		case *ast.SelectStmt:
+			return b.selectStmt(target, inner, s.Label.Name)
+		default:
+			return b.stmt(target, s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(label, false); t != nil {
+				cur.Nodes = append(cur.Nodes, s)
+				b.edge(cur, t)
+				return b.newBlock("unreachable")
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(label, true); t != nil {
+				cur.Nodes = append(cur.Nodes, s)
+				b.edge(cur, t)
+				return b.newBlock("unreachable")
+			}
+		case token.GOTO:
+			cur.Nodes = append(cur.Nodes, s)
+			b.pending = append(b.pending, pendingGoto{from: cur, label: label, pos: s.Pos()})
+			return b.newBlock("unreachable")
+		}
+		// Malformed branch (break outside loop): treat as no-op so a
+		// broken fixture degrades instead of panicking the analyzer.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit)
+		return b.newBlock("unreachable")
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && Terminates(call) {
+			b.edge(cur, b.g.Exit)
+			return b.newBlock("unreachable")
+		}
+		return cur
+
+	case *ast.GoStmt:
+		// The goroutine body is a separate graph (built by analyzers that
+		// care); in this function's graph the go statement is one node.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+func (b *builder) forStmt(cur *Block, s *ast.ForStmt, label string) *Block {
+	if s.Init != nil {
+		cur = b.stmt(cur, s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(cur, head)
+	after := b.newBlock("for.done")
+	body := b.newBlock("for.body")
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, body)
+		b.edge(head, after)
+	} else {
+		// `for { ... }`: the only way past it is break/return inside.
+		b.edge(head, body)
+	}
+	// continue target: the post statement if present, else the head.
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		b.edge(b.stmt(post, s.Post), head)
+		contTo = post
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after, contTo: contTo, isLoop: true})
+	out := b.stmts(body, s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(out, contTo) // back-edge (via post when present)
+	return after
+}
+
+func (b *builder) rangeStmt(cur *Block, s *ast.RangeStmt, label string) *Block {
+	head := b.newBlock("range.head")
+	head.Nodes = append(head.Nodes, s.X)
+	b.edge(cur, head)
+	after := b.newBlock("range.done")
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.edge(head, after) // ranges terminate (a ranged channel, when closed)
+	b.frames = append(b.frames, frame{label: label, breakTo: after, contTo: head, isLoop: true})
+	out := b.stmts(body, s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(out, head) // back-edge
+	return after
+}
+
+// switchStmt handles both expression and type switches (s is one of
+// *ast.SwitchStmt, *ast.TypeSwitchStmt).
+func (b *builder) switchStmt(cur *Block, s ast.Stmt, label string) *Block {
+	var body *ast.BlockStmt
+	switch sw := s.(type) {
+	case *ast.SwitchStmt:
+		if sw.Init != nil {
+			cur = b.stmt(cur, sw.Init)
+		}
+		if sw.Tag != nil {
+			cur.Nodes = append(cur.Nodes, sw.Tag)
+		}
+		body = sw.Body
+	case *ast.TypeSwitchStmt:
+		if sw.Init != nil {
+			cur = b.stmt(cur, sw.Init)
+		}
+		cur.Nodes = append(cur.Nodes, sw.Assign)
+		body = sw.Body
+	}
+	after := b.newBlock("switch.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+
+	// Build case bodies first so fallthrough can edge to the next body.
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		bodies[i] = b.newBlock("switch." + kind)
+		b.edge(cur, bodies[i])
+		// Case guard expressions are evaluated in the dispatch block.
+		for _, e := range cc.List {
+			cur.Nodes = append(cur.Nodes, e)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after) // no case matched
+	}
+	for i, cc := range clauses {
+		out := b.stmts(bodies[i], cc.Body)
+		if ft := fallsThrough(cc.Body); ft && i+1 < len(bodies) {
+			b.edge(out, bodies[i+1])
+		} else {
+			b.edge(out, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return after
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) selectStmt(cur *Block, s *ast.SelectStmt, label string) *Block {
+	cur.Nodes = append(cur.Nodes, s) // the select itself is the blocking point
+	after := b.newBlock("select.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	any := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(cur, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		out := b.stmts(blk, cc.Body)
+		b.edge(out, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !any {
+		// `select {}` blocks forever: no successors, Exit unreachable
+		// through here.
+		return b.newBlock("unreachable")
+	}
+	return after
+}
+
+// branchTarget resolves a break (wantContinue=false) or continue
+// (wantContinue=true) to its destination block.
+func (b *builder) branchTarget(label string, wantContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if wantContinue && !f.isLoop {
+			continue // continue binds only to loops, never switch/select
+		}
+		if label == "" || f.label == label {
+			if wantContinue {
+				return f.contTo
+			}
+			return f.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, p := range b.pending {
+		if t, ok := b.labels[p.label]; ok {
+			b.edge(p.from, t)
+		} else {
+			// Undefined label: the package does not compile; degrade to an
+			// edge to Exit so analysis still terminates.
+			b.edge(p.from, b.g.Exit)
+		}
+	}
+}
+
+// prune drops empty unreachable scratch blocks (created after terminating
+// statements) that gained no nodes and no successors, and renumbers. Entry
+// and Exit always survive.
+func (b *builder) prune() {
+	kept := b.g.Blocks[:0]
+	for _, blk := range b.g.Blocks {
+		if blk != b.g.Entry && blk != b.g.Exit && len(blk.Nodes) == 0 && len(blk.Succs) == 0 && blk.Kind == "unreachable" {
+			continue
+		}
+		blk.Index = len(kept)
+		kept = append(kept, blk)
+	}
+	b.g.Blocks = kept
+}
+
+// Terminates reports whether a call expression never returns to its caller:
+// panic, os.Exit, log.Fatal*, runtime.Goexit, (*testing.T).Fatal* are the
+// forms that matter in this repo. It is purely syntactic — a local function
+// named "panic" would fool it — which is acceptable for lint precision.
+func Terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		}
+	}
+	return false
+}

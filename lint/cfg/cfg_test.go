@@ -1,0 +1,341 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body snippet and returns its graph.
+func parseBody(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return FuncGraph(fn)
+}
+
+// hasBackEdge reports whether the graph has a cycle reachable from entry —
+// the shape every loop (and backward goto) leaves behind.
+func hasBackEdge(g *Graph) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	return visit(g.Entry)
+}
+
+func TestGraphShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+
+		exitReachable bool
+		backEdge      bool
+		defers        int
+	}{
+		{
+			name:          "straight line",
+			body:          "x := 1\n_ = x",
+			exitReachable: true,
+		},
+		{
+			name:          "if else join",
+			body:          "if c() {\na()\n} else {\nb()\n}\nd()",
+			exitReachable: true,
+		},
+		{
+			name:          "for with cond has back edge and exit",
+			body:          "for i := 0; i < 10; i++ {\nwork(i)\n}",
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name:          "infinite for has no exit",
+			body:          "for {\nwork(0)\n}",
+			exitReachable: false,
+			backEdge:      true,
+		},
+		{
+			name:          "infinite for with break exits",
+			body:          "for {\nif done() {\nbreak\n}\n}",
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name:          "infinite for with return exits",
+			body:          "for {\nif done() {\nreturn\n}\n}",
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name:          "range has back edge and natural exit",
+			body:          "for _, v := range xs() {\nwork(v)\n}",
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name:          "range continue keeps back edge",
+			body:          "for _, v := range xs() {\nif v == nil {\ncontinue\n}\nwork(v)\n}",
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name: "labeled break leaves outer loop",
+			body: `outer:
+for {
+	for {
+		if done() {
+			break outer
+		}
+	}
+}`,
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name: "labeled continue targets outer loop",
+			body: `outer:
+for i := 0; i < 3; i++ {
+	for {
+		continue outer
+	}
+}`,
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name: "unlabeled break in inner loop does not exit outer",
+			body: `for {
+	for {
+		break
+	}
+}`,
+			exitReachable: false,
+			backEdge:      true,
+		},
+		{
+			name:          "select with default falls through",
+			body:          "select {\ncase v := <-ch():\nwork(v)\ndefault:\n}\nafter()",
+			exitReachable: true,
+		},
+		{
+			name:          "empty select blocks forever",
+			body:          "select {}",
+			exitReachable: false,
+		},
+		{
+			name: "for select with done return exits",
+			body: `for {
+	select {
+	case <-done():
+		return
+	case v := <-ch():
+		work(v)
+	}
+}`,
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name: "for select without any return never exits",
+			body: `for {
+	select {
+	case v := <-ch():
+		work(v)
+	case <-tick():
+		work(nil)
+	}
+}`,
+			exitReachable: false,
+			backEdge:      true,
+		},
+		{
+			name: "break inside select leaves the select not the loop",
+			body: `for {
+	select {
+	case <-ch():
+		break
+	}
+}`,
+			exitReachable: false,
+			backEdge:      true,
+		},
+		{
+			name: "labeled break from select leaves the loop",
+			body: `loop:
+for {
+	select {
+	case <-ch():
+		break loop
+	}
+}`,
+			// The only case always breaks, so the loop cannot iterate
+			// twice: exit is reachable and there is no reachable cycle.
+			exitReachable: true,
+			backEdge:      false,
+		},
+		{
+			name: "labeled break from one select case keeps the other's cycle",
+			body: `loop:
+for {
+	select {
+	case <-done():
+		break loop
+	case <-ch():
+		work(nil)
+	}
+}`,
+			exitReachable: true,
+			backEdge:      true,
+		},
+		{
+			name:          "switch without default has fallthrough edge past cases",
+			body:          "switch v() {\ncase 1:\na()\ncase 2:\nb()\n}\nafter()",
+			exitReachable: true,
+		},
+		{
+			name: "switch with default and returns in all cases",
+			body: `switch v() {
+case 1:
+	return
+default:
+	return
+}`,
+			exitReachable: true,
+		},
+		{
+			name:          "panic edges to exit",
+			body:          "if bad() {\npanic(\"boom\")\n}\nok()",
+			exitReachable: true,
+		},
+		{
+			name:          "unconditional panic still reaches exit",
+			body:          "panic(\"always\")",
+			exitReachable: true,
+		},
+		{
+			name:          "os.Exit terminates like return",
+			body:          "os.Exit(1)",
+			exitReachable: true,
+		},
+		{
+			name:          "defer is recorded",
+			body:          "defer cleanup()\nwork(0)",
+			exitReachable: true,
+			defers:        1,
+		},
+		{
+			name:          "defer ordering is source order",
+			body:          "defer first()\ndefer second()\ndefer third()",
+			exitReachable: true,
+			defers:        3,
+		},
+		{
+			name:          "goto forward",
+			body:          "if c() {\ngoto out\n}\nwork(0)\nout:\nafter()",
+			exitReachable: true,
+		},
+		{
+			name:          "goto backward makes a loop",
+			body:          "again:\nwork(0)\ngoto again",
+			exitReachable: false,
+			backEdge:      true,
+		},
+		{
+			name:          "type switch",
+			body:          "switch x := v().(type) {\ncase int:\nwork(x)\ndefault:\n}",
+			exitReachable: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			if got := g.ExitReachable(); got != tc.exitReachable {
+				t.Errorf("ExitReachable = %v, want %v\ngraph:\n%s", got, tc.exitReachable, g)
+			}
+			if got := hasBackEdge(g); got != tc.backEdge {
+				t.Errorf("hasBackEdge = %v, want %v\ngraph:\n%s", got, tc.backEdge, g)
+			}
+			if got := len(g.Defers); got != tc.defers {
+				t.Errorf("len(Defers) = %d, want %d", got, tc.defers)
+			}
+		})
+	}
+}
+
+// TestDeferOrder pins the source-order contract of Graph.Defers: analyzers
+// that model deferred unlocks rely on scanning them in registration order.
+func TestDeferOrder(t *testing.T) {
+	g := parseBody(t, "defer first()\nif c() {\ndefer second()\n}\ndefer third()")
+	if len(g.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(g.Defers))
+	}
+	names := make([]string, 0, 3)
+	for _, d := range g.Defers {
+		call := d.Call.Fun.(*ast.Ident)
+		names = append(names, call.Name)
+	}
+	if got := strings.Join(names, ","); got != "first,second,third" {
+		t.Errorf("defer order = %s, want first,second,third", got)
+	}
+}
+
+// TestPredsMirrorSuccs checks the back-edge lists are consistent.
+func TestPredsMirrorSuccs(t *testing.T) {
+	g := parseBody(t, "for i := 0; i < 3; i++ {\nif c() {\ncontinue\n}\nwork(i)\n}")
+	fwd := map[[2]int]bool{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			fwd[[2]int{b.Index, s.Index}] = true
+		}
+	}
+	back := map[[2]int]bool{}
+	for _, b := range g.Blocks {
+		for _, p := range b.Preds {
+			back[[2]int{p.Index, b.Index}] = true
+		}
+	}
+	if len(fwd) != len(back) {
+		t.Fatalf("succ edges %d != pred edges %d\ngraph:\n%s", len(fwd), len(back), g)
+	}
+	for e := range fwd {
+		if !back[e] {
+			t.Errorf("edge %v present in Succs, missing in Preds", e)
+		}
+	}
+}
+
+// TestNestedFuncLitNotFlattened: a function literal's body must not leak
+// into the enclosing graph (its return would otherwise edge to the outer
+// exit).
+func TestNestedFuncLitNotFlattened(t *testing.T) {
+	g := parseBody(t, "f := func() {\nreturn\n}\nf()\nfor {\n}")
+	if g.ExitReachable() {
+		t.Errorf("outer infinite loop should make exit unreachable even with a returning func literal\ngraph:\n%s", g)
+	}
+}

@@ -12,6 +12,18 @@
 //     nondeterminism into checkpoints, flight records and hashes.
 //   - atomicwrite: crash safety (PR 3) depends on the fsync-then-rename
 //     discipline for every persisted artifact.
+//
+// Four analyzers are CFG/dataflow-based (built on unico/lint/cfg and
+// unico/lint/flow):
+//
+//   - ctxflow: blocking work must be cancellable — no context.Background/
+//     TODO outside main, no http.NewRequest, a ctx in scope wherever the
+//     code blocks.
+//   - goleak: every go statement needs a provable exit path.
+//   - locksafe: mutexes released on every path and never held across
+//     blocking operations.
+//   - durerr: in persistence packages, Sync/Rename/Close-on-written-file
+//     errors must not be discarded.
 package checkers
 
 import (
@@ -33,6 +45,10 @@ func All() []*analysis.Analyzer {
 		NewMetricName(),
 		NewMapOrder(),
 		NewAtomicWrite(),
+		NewCtxFlow(),
+		NewGoLeak(),
+		NewLockSafe(),
+		NewDurErr(),
 	}
 }
 

@@ -50,10 +50,34 @@ func TestAtomicWrite(t *testing.T) {
 	analysistest.Run(t, checkers.NewAtomicWrite(), "atomicwrite/a", "atomicwrite/checkpoint")
 }
 
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, checkers.NewCtxFlow(), "ctxflow/a")
+}
+
+func TestCtxFlowMainExempt(t *testing.T) {
+	analysistest.Run(t, checkers.NewCtxFlow(), "ctxflow/mainpkg")
+}
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, checkers.NewGoLeak(), "goleak/a")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, checkers.NewLockSafe(), "locksafe/a")
+}
+
+func TestDurErr(t *testing.T) {
+	analysistest.Run(t, checkers.NewDurErr(), "durerr/checkpoint")
+}
+
+func TestDurErrOutsidePersistencePackages(t *testing.T) {
+	analysistest.Run(t, checkers.NewDurErr(), "durerr/a")
+}
+
 func TestAllReturnsFreshInstances(t *testing.T) {
 	a, b := checkers.All(), checkers.All()
-	if len(a) != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", len(a))
+	if len(a) != 9 {
+		t.Fatalf("All() = %d analyzers, want 9", len(a))
 	}
 	for i := range a {
 		if a[i] == b[i] {

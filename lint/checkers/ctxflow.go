@@ -1,0 +1,146 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unico/lint/analysis"
+)
+
+// NewCtxFlow returns the context-propagation analyzer. Cancellation is
+// load-bearing in this repo — the fleet dispatcher, the PPA evaluation
+// pool, and the distributed tracer all rely on a context reaching the
+// blocking call so a dead peer or an operator abort actually stops work.
+// The analyzer enforces three rules:
+//
+//  1. context.Background() and context.TODO() are banned outside package
+//     main: they mint a fresh, uncancellable root in the middle of the call
+//     tree and silently detach everything below from the caller's deadline.
+//     Library code must thread the caller's ctx instead.
+//
+//  2. http.NewRequest is banned in favor of http.NewRequestWithContext:
+//     the former produces a request that ignores cancellation entirely.
+//
+//  3. A function that performs cancellable blocking work — channel
+//     operations, select-without-default, HTTP round trips, parpool
+//     submits — must be able to see a context: a context.Context parameter,
+//     or any context-typed expression in the body (a captured ctx, a struct
+//     field, req.Context()). A blocking function with no context in scope
+//     cannot be cancelled, ever; the report lands on its first blocking
+//     operation.
+//
+// Test files are never loaded by the driver, so tests are exempt
+// automatically.
+func NewCtxFlow() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "ctxflow",
+		Doc: "blocking code must be cancellable: no context.Background/TODO outside main, " +
+			"no http.NewRequest (use NewRequestWithContext), and functions doing blocking " +
+			"work must have a context.Context in scope",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		isMain := false
+		for _, file := range pass.Files {
+			if file.Name.Name == "main" {
+				isMain = true
+			}
+		}
+		for _, file := range pass.Files {
+			names := importNames(file)
+			checkCtxRoots(pass, names, file, isMain)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkCtxBlocking(pass, names, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkCtxRoots flags rules 1 and 2 anywhere in the file.
+func checkCtxRoots(pass *analysis.Pass, names map[string]string, file *ast.File, isMain bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgSelector(pass, names, sel)
+		if !ok {
+			return true
+		}
+		switch {
+		case path == "context" && (name == "Background" || name == "TODO") && !isMain:
+			pass.Reportf(call.Pos(), "context.%s() outside package main detaches this call tree from the caller's cancellation; thread the caller's ctx instead", name)
+		case path == "net/http" && name == "NewRequest":
+			pass.Reportf(call.Pos(), "http.NewRequest ignores cancellation; use http.NewRequestWithContext with the caller's ctx")
+		}
+		return true
+	})
+}
+
+// checkCtxBlocking flags rule 3 for one function declaration. Blocking ops
+// inside nested function literals count against the declaration: a closure
+// that blocks still needs a context from somewhere in the function.
+func checkCtxBlocking(pass *analysis.Pass, names map[string]string, fn *ast.FuncDecl) {
+	if funcHasContext(pass, fn.Type, fn.Body) {
+		return
+	}
+	// Receivers holding a context-typed field also count: methods on such
+	// types can cancel via the stored context even without a parameter.
+	if fn.Recv != nil && recvHasContextField(pass, fn.Recv) {
+		return
+	}
+	kind := blockingKind{chans: true, http: true, parpool: true}
+	var first blockingOp
+	var walkBody func(body *ast.BlockStmt)
+	walkBody = func(body *ast.BlockStmt) {
+		for _, op := range findBlockingOps(pass, names, body, kind) {
+			if first.node == nil || op.node.Pos() < first.node.Pos() {
+				first = op
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				walkBody(lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+	walkBody(fn.Body)
+	if first.node == nil {
+		return
+	}
+	pass.Reportf(first.node.Pos(), "%s in %s, which has no context.Context in scope; accept a ctx so this blocking work can be cancelled", first.desc, fn.Name.Name)
+}
+
+// recvHasContextField reports whether the method receiver's struct type has
+// a field of type context.Context (stored-ctx pattern, e.g. a server that
+// carries its lifecycle ctx).
+func recvHasContextField(pass *analysis.Pass, recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	n := namedType(pass.TypeOf(recv.List[0].Type))
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

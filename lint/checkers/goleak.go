@@ -1,0 +1,99 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unico/lint/analysis"
+	"unico/lint/cfg"
+)
+
+// NewGoLeak returns the goroutine-leak analyzer. Every `go` statement must
+// start a goroutine with a provable exit path: the body's CFG must reach
+// its exit block. A goroutine whose only shape is `for { select { ... } }`
+// with no return, no breaking case, and no closing range never terminates —
+// it pins its stack, its captured references, and (in this repo) a fleet
+// member's worker slot for the life of the process.
+//
+// The proof is deliberately syntactic and local: the CFG treats every
+// channel receive as eventually yielding a value and every ranged channel
+// as eventually closing, so a `case <-ctx.Done(): return` or a
+// `range jobs` loop counts as an exit path. What the analyzer rejects is
+// the goroutine with no exit-shaped code at all — the ones that are leaked
+// by construction, not by a peer's misbehavior.
+//
+// Goroutines whose body is a named function in another package are trusted
+// (parpool workers are the common case); same-package named functions are
+// checked by building the callee's CFG.
+func NewGoLeak() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "goleak",
+		Doc: "every go statement needs a provable exit path (a returning select case, " +
+			"a closing range, or a terminating body); goroutines that cannot exit are leaks",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		// Index same-package function declarations so `go s.loop()` can be
+		// resolved to a body worth checking.
+		decls := map[types.Object]*ast.FuncDecl{}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if pass.TypesInfo != nil {
+					if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+						decls[obj] = fn
+					}
+				}
+			}
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, decls, g)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkGoStmt(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) {
+	body, name := goBody(pass, decls, g)
+	if body == nil {
+		return // external or dynamic callee: trusted
+	}
+	graph := cfg.New(body)
+	if graph.ExitReachable() {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine %s has no exit path: no return, no breaking select case, no closing range; add a ctx.Done()/shutdown case so it can terminate", name)
+}
+
+// goBody resolves the body the goroutine will run: a function literal, or a
+// same-package named function (possibly a method). Calls through variables,
+// interfaces, or other packages return nil.
+func goBody(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, "literal"
+	case *ast.Ident:
+		if pass.TypesInfo != nil {
+			if fn, ok := decls[pass.TypesInfo.Uses[fun]]; ok {
+				return fn.Body, fn.Name.Name
+			}
+		}
+	case *ast.SelectorExpr:
+		if pass.TypesInfo != nil {
+			if fn, ok := decls[pass.TypesInfo.Uses[fun.Sel]]; ok {
+				return fn.Body, fn.Name.Name
+			}
+		}
+	}
+	return nil, ""
+}

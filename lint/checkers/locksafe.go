@@ -1,0 +1,220 @@
+package checkers
+
+import (
+	"go/ast"
+
+	"unico/lint/analysis"
+	"unico/lint/cfg"
+	"unico/lint/flow"
+)
+
+// NewLockSafe returns the lock-safety analyzer. For every sync.Mutex /
+// sync.RWMutex acquisition it proves two properties on the function's CFG:
+//
+//  1. Release on every path. A lock acquired in a function must be provably
+//     released before every return — by a matching Unlock/RUnlock on the
+//     path or by a deferred unlock (which also covers panic unwinding). An
+//     early return that skips the unlock deadlocks the next caller.
+//
+//  2. Not held across blocking operations. Between Lock and Unlock the
+//     goroutine must not perform an operation that can stall indefinitely:
+//     channel sends/receives, select-without-default, net/http round trips,
+//     parpool submits, fsync, or WaitGroup.Wait. A stalled holder turns
+//     one slow peer into a fleet-wide pile-up on the mutex. Deferred
+//     unlocks do NOT discharge this property — the lock is still held while
+//     the blocking call runs.
+//
+// The analysis is may-held: one bit per acquisition call site, genned at
+// the Lock/RLock, killed at an Unlock/RUnlock of the same rendered receiver
+// ("s.mu"). Acquisitions whose receiver is not a simple ident/selector
+// chain are skipped — the analyzer refuses to guess at aliasing.
+func NewLockSafe() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "locksafe",
+		Doc: "sync.Mutex/RWMutex must be released on every path out of the acquiring function " +
+			"and must not be held across blocking operations (channels, HTTP, fsync, WaitGroup.Wait)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			names := importNames(file)
+			forEachFuncBody(file, func(name string, body *ast.BlockStmt) {
+				checkLockSafe(pass, names, name, body)
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// lockSite is one Lock/RLock call in the body.
+type lockSite struct {
+	call *ast.CallExpr
+	root string // rendered receiver, e.g. "s.mu"
+	read bool   // RLock (vs Lock)
+}
+
+func checkLockSafe(pass *analysis.Pass, names map[string]string, fname string, body *ast.BlockStmt) {
+	// Collect acquisition sites (outside nested function literals: a
+	// literal is its own execution context and gets its own pass).
+	var sites []lockSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, mname, root, ok := mutexOp(pass, call); ok && (mname == "Lock" || mname == "RLock") {
+			_ = recv
+			if root != "" {
+				sites = append(sites, lockSite{call: call, root: root, read: mname == "RLock"})
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	bitOf := map[*ast.CallExpr]int{}
+	for i, s := range sites {
+		bitOf[s.call] = i
+	}
+
+	// unlocksRoot reports whether node n is an Unlock/RUnlock of root.
+	unlockOf := func(n ast.Node) (string, bool) {
+		call := asCall(n)
+		if call == nil {
+			return "", false
+		}
+		if _, mname, root, ok := mutexOp(pass, call); ok && (mname == "Unlock" || mname == "RUnlock") {
+			return root, true
+		}
+		return "", false
+	}
+
+	killRoot := func(facts flow.Set, root string) {
+		for i, s := range sites {
+			if s.root == root {
+				facts.Remove(i)
+			}
+		}
+	}
+
+	// Transfer for property 1 (release-on-every-path): deferred unlocks
+	// count as releases, so a DeferStmt of root.Unlock() kills too.
+	leakTransfer := func(n ast.Node, facts flow.Set) {
+		if call := asCall(n); call != nil {
+			if b, ok := bitOf[call]; ok {
+				facts.Add(b)
+			}
+		}
+		if root, ok := unlockOf(n); ok {
+			killRoot(facts, root)
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if _, mname, root, ok := mutexOp(pass, d.Call); ok && (mname == "Unlock" || mname == "RUnlock") {
+				killRoot(facts, root)
+			}
+		}
+	}
+
+	// Transfer for property 2 (held-across-blocking): only an executed
+	// Unlock releases; a deferred one runs after the whole body, so the
+	// lock stays held at every intervening blocking op.
+	heldTransfer := func(n ast.Node, facts flow.Set) {
+		if call := asCall(n); call != nil {
+			if b, ok := bitOf[call]; ok {
+				facts.Add(b)
+			}
+		}
+		if root, ok := unlockOf(n); ok {
+			killRoot(facts, root)
+		}
+	}
+
+	leak := flow.Forward(g, len(sites), flow.May, flow.NewSet(len(sites)), leakTransfer)
+	for _, b := range leak.AtExit(g).Bits() {
+		s := sites[b]
+		verb := "Lock"
+		if s.read {
+			verb = "RLock"
+		}
+		pass.Reportf(s.call.Pos(), "%s.%s() in %s is not released on every path out of the function; unlock before each return or defer the unlock", s.root, verb, fname)
+	}
+
+	// Property 2: visit blocking ops with the held-facts before them.
+	ops := findBlockingOps(pass, names, body, blockingKind{
+		chans: true, http: true, parpool: true, fsync: true, wgWait: true,
+	})
+	if len(ops) == 0 {
+		return
+	}
+	opAt := map[ast.Node][]blockingOp{}
+	for _, op := range ops {
+		opAt[op.node] = append(opAt[op.node], op)
+	}
+	held := flow.Forward(g, len(sites), flow.May, flow.NewSet(len(sites)), heldTransfer)
+	reported := map[ast.Node]bool{}
+	held.Walk(g, func(n ast.Node, before flow.Set) {
+		visit := func(x ast.Node) {
+			for _, op := range opAt[x] {
+				if reported[op.node] || before.Empty() {
+					continue
+				}
+				reported[op.node] = true
+				s := sites[before.Bits()[0]]
+				pass.Reportf(op.node.Pos(), "%s in %s while %s is held; release the lock (or snapshot under it) before blocking", op.desc, fname, s.root)
+			}
+		}
+		// A select is its own block node; its case bodies live in other
+		// blocks with their own facts, so check only the select itself.
+		if _, ok := n.(*ast.SelectStmt); ok {
+			visit(n)
+			return
+		}
+		// Blocking ops can sit inside statement nodes (a receive inside an
+		// assignment, a call inside an if-cond): scan the statement's
+		// subtree, not just the node itself.
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			visit(x)
+			return true
+		})
+	})
+}
+
+// mutexOp unpacks recv.Method() where recv has mutex type, returning the
+// receiver, method name, and rendered root.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (recv ast.Expr, name string, root string, ok bool) {
+	recv, name, isMeth := methodCall(pass, call)
+	if !isMeth || len(call.Args) != 0 {
+		return nil, "", "", false
+	}
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", "", false
+	}
+	if !isMutex(pass.TypeOf(recv)) {
+		return nil, "", "", false
+	}
+	return recv, name, renderExpr(recv), true
+}
+
+// asCall unwraps an expression-statement call or a bare call node.
+func asCall(n ast.Node) *ast.CallExpr {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if c, ok := n.X.(*ast.CallExpr); ok {
+			return c
+		}
+	case *ast.CallExpr:
+		return n
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package a exercises ctxflow: context roots outside main, http.NewRequest,
+// and blocking functions with no context in scope.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+// Rule 1: fresh context roots outside package main.
+
+func mintsBackground() context.Context {
+	return context.Background() // want `context\.Background\(\) outside package main`
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) outside package main`
+}
+
+// Rule 2: requests without context.
+
+func buildsRequest(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http\.NewRequest ignores cancellation`
+}
+
+func buildsRequestWithContext(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// Rule 3: blocking work needs a context in scope.
+
+func blocksWithoutCtx(ch chan int) int {
+	return <-ch // want `channel receive in blocksWithoutCtx, which has no context\.Context in scope`
+}
+
+func sendsWithoutCtx(ch chan int, v int) {
+	ch <- v // want `channel send in sendsWithoutCtx`
+}
+
+func selectsWithoutCtx(a, b chan int) int {
+	select { // want `select without default in selectsWithoutCtx`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func httpWithoutCtx(c *http.Client, req *http.Request) error {
+	_, err := c.Do(req) // want `net/http round trip in httpWithoutCtx`
+	return err
+}
+
+// Only the first blocking op in a function is reported.
+func firstOpOnly(ch chan int) {
+	<-ch // want `channel receive in firstOpOnly`
+	ch <- 1
+	<-ch
+}
+
+// A closure that blocks counts against the enclosing declaration.
+func closureBlocks(ch chan int) func() int {
+	return func() int {
+		return <-ch // want `channel receive in closureBlocks`
+	}
+}
+
+// Negative cases: a context anywhere in scope discharges rule 3.
+
+func blocksWithCtxParam(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+func blocksWithCapturedCtx(ctx context.Context, ch chan int) func() {
+	return func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}
+}
+
+type server struct {
+	ctx context.Context
+	ch  chan int
+}
+
+// A context-typed receiver field discharges rule 3 for methods.
+func (s *server) pump(v int) {
+	s.ch <- v
+}
+
+// Non-blocking selects and plain computation never need a context.
+func nonBlockingSelect(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func pureComputation(x int) int { return x * 2 }

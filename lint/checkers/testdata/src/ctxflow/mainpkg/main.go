@@ -1,0 +1,12 @@
+// Package main is the one place allowed to mint context roots: processes
+// own their lifetime.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) { _ = ctx }

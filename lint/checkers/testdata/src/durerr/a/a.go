@@ -1,0 +1,13 @@
+// Package a sits outside the persistence packages: durerr does not apply.
+// Non-durable output (reports, scratch files) may discard close errors.
+package a
+
+import "os"
+
+func scratchFile(path string, b []byte) {
+	f, _ := os.Create(path)
+	f.Write(b)
+	f.Sync()
+	f.Close()
+	os.Rename(path, path+".bak")
+}

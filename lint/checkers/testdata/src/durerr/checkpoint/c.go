@@ -1,0 +1,119 @@
+// Package checkpoint carries a persistence path segment, so durerr tracks
+// every durability-relevant error here.
+package checkpoint
+
+import "os"
+
+// Positive: a discarded Sync error is a lost write.
+func syncDiscarded(path string) {
+	f, _ := os.Create(path)
+	f.Sync() // want `f\.Sync\(\) error discarded in syncDiscarded`
+	f.Close()
+}
+
+// Positive: blanking the Sync error is still a discard.
+func syncBlanked(f *os.File) {
+	_ = f.Sync() // want `f\.Sync\(\) error explicitly discarded in syncBlanked`
+}
+
+// Positive: a discarded rename un-publishes the snapshot protocol.
+func renameDiscarded(tmp, dst string) {
+	os.Rename(tmp, dst) // want `os\.Rename error discarded in renameDiscarded`
+}
+
+func renameBlanked(tmp, dst string) {
+	_ = os.Rename(tmp, dst) // want `os\.Rename error explicitly discarded in renameBlanked`
+}
+
+// Positive: closing a written file without ever syncing it discards the
+// only error the OS may still be holding.
+func closeUnsynced(path string, b []byte) {
+	f, _ := os.Create(path)
+	f.Write(b)
+	f.Close() // want `f\.Close\(\) error discarded in closeUnsynced while the file may hold unsynced writes`
+}
+
+// Positive: a deferred close on a function that never syncs.
+func deferCloseNeverSynced(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred f\.Close\(\) in deferCloseNeverSynced discards the close error`
+	_, err = f.Write(b)
+	return err
+}
+
+// Positive: OpenFile with write flags is a write-open.
+func appendUnsynced(path string, b []byte) {
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write(b)
+	f.Close() // want `f\.Close\(\) error discarded in appendUnsynced`
+}
+
+// Negative: the full checked protocol — sync checked, close checked.
+func checkedProtocol(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Negative: the idiomatic defer-close backstop with a checked inline sync
+// on the happy path; the defer only double-closes after success and only
+// discards on paths that already failed.
+func deferBackstop(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Negative: a bare close after a checked sync cannot lose a write error.
+func closeAfterCheckedSync(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// Negative: read-only files owe nothing at close.
+func readPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// Negative: an explicitly blanked close is an acknowledged cleanup discard.
+func acknowledgedCleanup(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+	return os.Remove(path)
+}

@@ -1,0 +1,126 @@
+// Package a exercises goleak: every go statement needs a provable exit
+// path in its body's control-flow graph.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// Positive: a bare for/select with no returning case never terminates.
+func leaksForever(ch chan int) {
+	go func() { // want `goroutine literal has no exit path`
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Positive: infinite loop without any break or return.
+func leaksBusyLoop() {
+	go func() { // want `goroutine literal has no exit path`
+		for {
+			step()
+		}
+	}()
+}
+
+// Positive: a named same-package function is resolved and checked.
+func leaksNamed() {
+	go spinForever() // want `goroutine spinForever has no exit path`
+}
+
+func spinForever() {
+	for {
+		step()
+	}
+}
+
+// Positive: methods resolve the same way.
+type pump struct{ ch chan int }
+
+func (p *pump) loop() {
+	for {
+		select {
+		case v := <-p.ch:
+			_ = v
+		}
+	}
+}
+
+func (p *pump) start() {
+	go p.loop() // want `goroutine loop has no exit path`
+}
+
+// Negative: a ctx.Done case that returns is an exit path.
+func stopsOnCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Negative: a done-channel case that returns is an exit path.
+func stopsOnDone(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Negative: ranging over a channel exits when the channel closes.
+func drains(ch chan int, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Negative: a goroutine that runs to completion.
+func oneShot(result chan<- int) {
+	go func() {
+		result <- compute()
+	}()
+}
+
+// Negative: a breaking select case is an exit path.
+func breaksOut(ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					break loop
+				}
+				_ = v
+			}
+		}
+	}()
+}
+
+// Negative: dynamic callees (function values, other packages) are trusted.
+func dynamic(fn func()) {
+	go fn()
+}
+
+func step() {}
+
+func compute() int { return 1 }

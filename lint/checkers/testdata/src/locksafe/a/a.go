@@ -1,0 +1,118 @@
+// Package a exercises locksafe: release on every path, and never hold a
+// mutex across a blocking operation.
+package a
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+}
+
+// Positive: the early return skips the unlock.
+func (s *store) leakOnEarlyReturn(k string) int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) in leakOnEarlyReturn is not released on every path`
+	v, ok := s.vals[k]
+	if !ok {
+		return -1
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Positive: an RLock leaks the same way.
+func (s *store) leakReadLock(k string) int {
+	s.rw.RLock() // want `s\.rw\.RLock\(\) in leakReadLock is not released on every path`
+	if k == "" {
+		return 0
+	}
+	v := s.vals[k]
+	s.rw.RUnlock()
+	return v
+}
+
+// Positive: holding the lock across a channel send stalls every other
+// caller if the receiver is slow.
+func (s *store) sendWhileHeld(ch chan int, k string) {
+	s.mu.Lock()
+	ch <- s.vals[k] // want `channel send in sendWhileHeld while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// Positive: a deferred unlock satisfies release-on-every-path but the lock
+// is still held during the HTTP round trip.
+func (s *store) httpWhileHeld(c *http.Client, req *http.Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Do(req) // want `net/http round trip in httpWhileHeld while s\.mu is held`
+	return err
+}
+
+// Positive: fsync under a lock serializes every caller behind the disk.
+func (s *store) fsyncWhileHeld(f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.Sync() // want `file fsync in fsyncWhileHeld while s\.mu is held`
+}
+
+// Positive: waiting on a WaitGroup while holding the lock.
+func (s *store) waitWhileHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `WaitGroup wait in waitWhileHeld while s\.mu is held`
+}
+
+// Negative: unlock before returning on every path.
+func (s *store) balanced(k string) int {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		s.mu.Unlock()
+		return -1
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Negative: the deferred unlock covers every return and the panic path.
+func (s *store) deferred(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k == "" {
+		return 0
+	}
+	return s.vals[k]
+}
+
+// Negative: snapshot under the lock, block after releasing it.
+func (s *store) snapshotThenSend(ch chan int, k string) {
+	s.mu.Lock()
+	v := s.vals[k]
+	s.mu.Unlock()
+	ch <- v
+}
+
+// Negative: a non-blocking select is fine under the lock.
+func (s *store) tryNotify(ch chan int, k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- s.vals[k]:
+	default:
+	}
+}
+
+// Negative: a function literal is its own execution context; its lock does
+// not leak into the enclosing function's analysis.
+func (s *store) closureLocks(k string) func() int {
+	return func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.vals[k]
+	}
+}

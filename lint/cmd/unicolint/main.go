@@ -6,10 +6,20 @@
 //
 // Usage:
 //
-//	unicolint [-C dir] [-verbose] [-list] [patterns ...]
+//	unicolint [-C dir] [-verbose] [-list] [-json] [-stale-allows] [patterns ...]
 //
 // Patterns default to ./... relative to -C (default "."). Exit status is 0
 // when clean, 1 when diagnostics were found, 2 on operational errors.
+//
+// -json replaces the human-readable report with one JSON object per line —
+// machine-readable for editor integrations and CI annotations — covering
+// both live and suppressed findings:
+//
+//	{"path":"internal/dist/client.go","line":477,"col":14,"analyzer":"ctxflow","message":"...","suppressed":false}
+//
+// -stale-allows makes leftover //unicolint:allow directives that suppress
+// nothing a failure (exit 1): a stale allow is a silenced analyzer waiting
+// to miss a real regression at that site.
 //
 // A finding at a genuinely legitimate site is silenced in the source with
 //
@@ -20,8 +30,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -38,9 +50,11 @@ func main() {
 
 func run() int {
 	var (
-		dir     = flag.String("C", ".", "directory of the module to analyze")
-		verbose = flag.Bool("verbose", false, "also list suppressed diagnostics (with reasons) and stale allows")
-		list    = flag.Bool("list", false, "list analyzers and the invariants they enforce, then exit")
+		dir         = flag.String("C", ".", "directory of the module to analyze")
+		verbose     = flag.Bool("verbose", false, "also list suppressed diagnostics (with reasons) and stale allows")
+		list        = flag.Bool("list", false, "list analyzers and the invariants they enforce, then exit")
+		jsonOut     = flag.Bool("json", false, "emit one JSON finding object per line instead of the human-readable report")
+		staleAllows = flag.Bool("stale-allows", false, "fail (exit 1) when any //unicolint:allow directive suppresses nothing")
 	)
 	flag.Parse()
 
@@ -90,14 +104,20 @@ func run() int {
 		return path
 	}
 
-	for _, d := range res.Diags {
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Position.Filename), d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
-	}
-	if *verbose {
-		for _, s := range res.Suppressed {
-			fmt.Printf("%s:%d: suppressed %s: %s (allowed: %s)\n",
-				rel(s.Diag.Position.Filename), s.Diag.Position.Line, s.Diag.Analyzer, s.Diag.Message, s.Reason)
+	if *jsonOut {
+		writeJSON(os.Stdout, rel, res)
+	} else {
+		for _, d := range res.Diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Position.Filename), d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
 		}
+		if *verbose {
+			for _, s := range res.Suppressed {
+				fmt.Printf("%s:%d: suppressed %s: %s (allowed: %s)\n",
+					rel(s.Diag.Position.Filename), s.Diag.Position.Line, s.Diag.Analyzer, s.Diag.Message, s.Reason)
+			}
+		}
+	}
+	if (*verbose || *staleAllows) && !*jsonOut {
 		for _, a := range res.Unused {
 			fmt.Printf("%s:%d: stale //unicolint:allow %s (%s): suppressed nothing; remove it\n",
 				rel(a.File), a.Line, a.Analyzer, a.Reason)
@@ -108,7 +128,75 @@ func run() int {
 	if len(res.Diags) > 0 {
 		return 1
 	}
+	if *staleAllows && len(res.Unused) > 0 {
+		fmt.Fprintf(os.Stderr, "unicolint: %d stale allow directives (-stale-allows)\n", len(res.Unused))
+		return 1
+	}
 	return 0
+}
+
+// finding is the -json wire format: one object per line, stable field
+// order, findings sorted by (path, line, col, analyzer) with suppressed
+// findings after live ones at the same position.
+type finding struct {
+	Path       string `json:"path"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	// Reason is the allow text for suppressed findings, omitted otherwise.
+	Reason string `json:"reason,omitempty"`
+	// Stale marks an allow directive that suppressed nothing; line/col point
+	// at the directive and message explains the removal.
+	Stale bool `json:"stale,omitempty"`
+}
+
+func writeJSON(w io.Writer, rel func(string) string, res driver.Result) {
+	findings := make([]finding, 0, len(res.Diags)+len(res.Suppressed)+len(res.Unused))
+	for _, d := range res.Diags {
+		findings = append(findings, finding{
+			Path: rel(d.Position.Filename), Line: d.Position.Line, Col: d.Position.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	for _, s := range res.Suppressed {
+		findings = append(findings, finding{
+			Path: rel(s.Diag.Position.Filename), Line: s.Diag.Position.Line, Col: s.Diag.Position.Column,
+			Analyzer: s.Diag.Analyzer, Message: s.Diag.Message,
+			Suppressed: true, Reason: s.Reason,
+		})
+	}
+	for _, a := range res.Unused {
+		findings = append(findings, finding{
+			Path: rel(a.File), Line: a.Line,
+			Analyzer: a.Analyzer,
+			Message:  "stale //unicolint:allow " + a.Analyzer + ": suppressed nothing; remove it",
+			Stale:    true, Reason: a.Reason,
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Suppressed != b.Suppressed {
+			return !a.Suppressed
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		// Encode never fails for this shape; a write error surfaces on the
+		// next line or at process exit.
+		_ = enc.Encode(f)
+	}
 }
 
 func summary(pkgs []*load.Package, suite []*analysis.Analyzer, res driver.Result) {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"unico/lint/checkers"
+	"unico/lint/driver"
+	"unico/lint/load"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/json.golden from the current output")
+
+// TestJSONOutputGolden pins the -json wire format byte for byte: editor
+// integrations and CI annotation scripts parse it, so a field rename or
+// reordering is a breaking change that must show up in review.
+func TestJSONOutputGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "jsonmod")
+	loader := load.New(dir)
+	pkgs, err := loader.Roots("./...")
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Fatalf("fixture type error in %s: %v", p.ImportPath, e)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	res := driver.Run(loader.Fset, pkgs, checkers.All())
+	for _, e := range res.Errors {
+		t.Fatalf("driver error: %v", e)
+	}
+
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(path string) string {
+		if r, err := filepath.Rel(abs, path); err == nil {
+			return filepath.ToSlash(r)
+		}
+		return path
+	}
+
+	var buf bytes.Buffer
+	writeJSON(&buf, rel, res)
+
+	golden := filepath.Join("testdata", "json.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The same fixture carries exactly one stale allow — the condition the
+	// -stale-allows flag turns into exit status 1.
+	if len(res.Unused) != 1 {
+		t.Errorf("fixture stale allows = %d, want 1 (the -stale-allows gate keys on this)", len(res.Unused))
+	}
+}

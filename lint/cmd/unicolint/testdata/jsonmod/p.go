@@ -1,0 +1,16 @@
+// Package jsonmod is the fixture for the -json golden-file test: one live
+// finding, one suppressed finding, and one stale allow, so every field of
+// the wire format appears in the golden output.
+package jsonmod
+
+import "context"
+
+func live() context.Context { return context.Background() }
+
+func suppressed() context.Context {
+	//unicolint:allow ctxflow golden-file fixture: exercising the suppressed=true wire shape
+	return context.Background()
+}
+
+//unicolint:allow detclock golden-file fixture: exercising the stale wire shape
+func clean() {}

@@ -1,0 +1,249 @@
+// Package flow is a small forward-dataflow framework over unico/lint/cfg
+// graphs: a bit-vector lattice, per-node gen/kill transfer functions, and a
+// worklist solver that iterates to a fixpoint.
+//
+// Facts are bits in a Set. An analyzer assigns one bit per interesting
+// thing (a lock acquisition site, a written file variable), describes how
+// each CFG node changes the facts (Transfer), and picks a join: May (union
+// over predecessors — "does some path establish the fact") or Must
+// (intersection — "do all paths establish it"). The solver returns the
+// fact set at the entry of every block; Walk replays the transfer function
+// inside a block to visit the fact set immediately before every node,
+// which is where analyzers do their reporting.
+//
+// The framework is deliberately minimal: forward direction only, finite
+// bit-vector domains only. That covers every analyzer unicolint ships
+// (ctxflow, goleak, locksafe, durerr) while keeping the solver obviously
+// terminating — transfer functions are monotone gen/kill, so the fixpoint
+// exists and the worklist visits each block O(bits) times.
+package flow
+
+import (
+	"go/ast"
+	"math/bits"
+
+	"unico/lint/cfg"
+)
+
+// Set is a bit vector of dataflow facts.
+type Set []uint64
+
+// NewSet returns an empty set able to hold n bits.
+func NewSet(n int) Set { return make(Set, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (s Set) Has(i int) bool {
+	w := i / 64
+	return w < len(s) && s[w]&(1<<(i%64)) != 0
+}
+
+// Add sets bit i.
+func (s Set) Add(i int) { s[i/64] |= 1 << (i % 64) }
+
+// Remove clears bit i.
+func (s Set) Remove(i int) {
+	w := i / 64
+	if w < len(s) {
+		s[w] &^= 1 << (i % 64)
+	}
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Union merges o into s, reporting whether s changed.
+func (s Set) Union(o Set) bool {
+	changed := false
+	for i := range s {
+		if i >= len(o) {
+			break
+		}
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect keeps only bits present in both, reporting whether s changed.
+func (s Set) Intersect(o Set) bool {
+	changed := false
+	for i := range s {
+		var w uint64
+		if i < len(o) {
+			w = o[i]
+		}
+		n := s[i] & w
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports set equality.
+func (s Set) Equal(o Set) bool {
+	for i := range s {
+		var w uint64
+		if i < len(o) {
+			w = o[i]
+		}
+		if s[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no bit is set.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the indices of the set bits, ascending.
+func (s Set) Bits() []int {
+	var out []int
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Join selects the confluence operator.
+type Join int
+
+const (
+	// May joins with union: a fact holds if it holds on some path.
+	May Join = iota
+	// Must joins with intersection: a fact holds only on all paths.
+	Must
+)
+
+// Transfer mutates the fact set in place to reflect executing node n.
+// It is called once per node during solving and again during Walk, so it
+// must be deterministic and depend only on (n, facts).
+type Transfer func(n ast.Node, facts Set)
+
+// Solution holds per-block entry facts.
+type Solution struct {
+	NumBits  int
+	In       map[*cfg.Block]Set
+	transfer Transfer
+}
+
+// Forward solves a forward dataflow problem: boundary is the fact set at
+// function entry, tr the per-node transfer. For Must problems the initial
+// out-sets of unvisited blocks are "all facts" (top), as intersection
+// requires.
+func Forward(g *cfg.Graph, numBits int, join Join, boundary Set, tr Transfer) *Solution {
+	sol := &Solution{NumBits: numBits, In: map[*cfg.Block]Set{}, transfer: tr}
+
+	top := NewSet(numBits)
+	if join == Must {
+		for i := 0; i < numBits; i++ {
+			top.Add(i)
+		}
+	}
+	out := map[*cfg.Block]Set{}
+	for _, b := range g.Blocks {
+		sol.In[b] = top.Clone()
+		out[b] = top.Clone()
+	}
+	sol.In[g.Entry] = boundary.Clone()
+
+	// Worklist seeded in block order (construction order approximates
+	// reverse postorder well enough; the fixpoint is order-independent).
+	work := make([]*cfg.Block, 0, len(g.Blocks))
+	inWork := make([]bool, len(g.Blocks))
+	push := func(b *cfg.Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	apply := func(b *cfg.Block) Set {
+		facts := sol.In[b].Clone()
+		for _, n := range b.Nodes {
+			tr(n, facts)
+		}
+		return facts
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		// Recompute In from predecessors (entry keeps its boundary).
+		if b != g.Entry {
+			var in Set
+			if len(b.Preds) == 0 {
+				// Unreachable block: May bottom / Must top; either way no
+				// information flows out of it that wasn't already there.
+				in = top.Clone()
+				if join == May {
+					in = NewSet(numBits)
+				}
+			} else {
+				in = out[b.Preds[0]].Clone()
+				for _, p := range b.Preds[1:] {
+					if join == May {
+						in.Union(out[p])
+					} else {
+						in.Intersect(out[p])
+					}
+				}
+			}
+			sol.In[b] = in
+		}
+		newOut := apply(b)
+		if !newOut.Equal(out[b]) {
+			out[b] = newOut
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return sol
+}
+
+// Walk replays the transfer function over every block reachable from
+// entry, calling visit with the fact set in force immediately before each
+// node. The set passed to visit is reused between calls; clone it to keep.
+func (s *Solution) Walk(g *cfg.Graph, visit func(n ast.Node, before Set)) {
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		facts := s.In[b].Clone()
+		for _, n := range b.Nodes {
+			visit(n, facts)
+			s.transfer(n, facts)
+		}
+	}
+}
+
+// AtExit returns the fact set at the entry of the exit block — the facts
+// that hold when the function terminates.
+func (s *Solution) AtExit(g *cfg.Graph) Set { return s.In[g.Exit] }

@@ -1,0 +1,174 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"unico/lint/cfg"
+)
+
+func parseBody(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return cfg.FuncGraph(fn)
+}
+
+// callTransfer gens bit 0 at calls named "gen" and kills it at calls named
+// "kill" — the minimal lock-shaped problem.
+func callTransfer(n ast.Node, facts Set) {
+	name := callName(n)
+	switch name {
+	case "gen":
+		facts.Add(0)
+	case "kill":
+		facts.Remove(0)
+	}
+}
+
+func callName(n ast.Node) string {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if c, ok := n.X.(*ast.CallExpr); ok {
+			call = c
+		}
+	case *ast.CallExpr:
+		call = n
+	}
+	if call == nil {
+		return ""
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func TestMayFact(t *testing.T) {
+	cases := []struct {
+		name   string
+		body   string
+		atExit bool // bit 0 may hold at exit
+	}{
+		{"gen then kill", "gen()\nkill()", false},
+		{"gen only", "gen()", true},
+		{"gen on one branch", "if c() {\ngen()\n}", true},
+		{"killed on both branches", "gen()\nif c() {\nkill()\n} else {\nkill()\n}", false},
+		{"killed on one branch only", "gen()\nif c() {\nkill()\n}", true},
+		{"early return skips kill", "gen()\nif c() {\nreturn\n}\nkill()", true},
+		{"loop body gen escapes", "for i := 0; i < 3; i++ {\ngen()\n}", true},
+		{"loop body gen+kill clean", "for i := 0; i < 3; i++ {\ngen()\nkill()\n}", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			sol := Forward(g, 1, May, NewSet(1), callTransfer)
+			if got := sol.AtExit(g).Has(0); got != tc.atExit {
+				t.Errorf("at exit: may-hold = %v, want %v", got, tc.atExit)
+			}
+		})
+	}
+}
+
+func TestMustFact(t *testing.T) {
+	cases := []struct {
+		name   string
+		body   string
+		atExit bool // bit 0 must hold at exit
+	}{
+		{"gen on all paths", "gen()", true},
+		{"gen on one branch", "if c() {\ngen()\n}", false},
+		{"gen on both branches", "if c() {\ngen()\n} else {\ngen()\n}", true},
+		{"gen before branch", "gen()\nif c() {\nwork()\n}", true},
+		{"killed on one branch", "gen()\nif c() {\nkill()\n}", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			sol := Forward(g, 1, Must, NewSet(1), callTransfer)
+			if got := sol.AtExit(g).Has(0); got != tc.atExit {
+				t.Errorf("at exit: must-hold = %v, want %v", got, tc.atExit)
+			}
+		})
+	}
+}
+
+// TestWalkSeesFactsBeforeNode pins Walk's contract: the set passed to the
+// visitor is the state immediately before the node executes.
+func TestWalkSeesFactsBeforeNode(t *testing.T) {
+	g := parseBody(t, "gen()\nprobe()\nkill()\nprobe()")
+	sol := Forward(g, 1, May, NewSet(1), callTransfer)
+	var got []bool
+	sol.Walk(g, func(n ast.Node, before Set) {
+		if callName(n) == "probe" {
+			got = append(got, before.Has(0))
+		}
+	})
+	if len(got) != 2 || got[0] != true || got[1] != false {
+		t.Errorf("probe facts = %v, want [true false]", got)
+	}
+}
+
+// TestWalkSkipsUnreachable: facts in dead code must not reach the visitor,
+// or analyzers would report on unreachable paths.
+func TestWalkSkipsUnreachable(t *testing.T) {
+	g := parseBody(t, "return\ngen()\nprobe()")
+	sol := Forward(g, 1, May, NewSet(1), callTransfer)
+	sol.Walk(g, func(n ast.Node, before Set) {
+		if callName(n) == "probe" {
+			t.Error("visited a probe in unreachable code")
+		}
+	})
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// A fact genned in iteration 1 must be visible at the loop head in
+	// iteration 2 — the back-edge must participate in the fixpoint.
+	g := parseBody(t, "for i := 0; i < 3; i++ {\nprobe()\ngen()\n}")
+	sol := Forward(g, 1, May, NewSet(1), callTransfer)
+	seen := false
+	sol.Walk(g, func(n ast.Node, before Set) {
+		if callName(n) == "probe" && before.Has(0) {
+			seen = true
+		}
+	})
+	if !seen {
+		t.Error("fact genned in the loop body did not flow around the back-edge to the probe")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if got := s.Bits(); len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Errorf("Bits() = %v, want [0 64 129]", got)
+	}
+	o := s.Clone()
+	o.Remove(64)
+	if s.Equal(o) {
+		t.Error("Clone is not independent")
+	}
+	if !s.Has(64) || o.Has(64) {
+		t.Error("Remove affected the wrong set")
+	}
+	u := NewSet(130)
+	if changed := u.Union(s); !changed || !u.Equal(s) {
+		t.Error("Union into empty should equal source and report change")
+	}
+	if changed := u.Intersect(o); !changed || u.Has(64) {
+		t.Error("Intersect should drop bit 64 and report change")
+	}
+	if !NewSet(10).Empty() || s.Empty() {
+		t.Error("Empty() wrong")
+	}
+}

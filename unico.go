@@ -381,6 +381,7 @@ type Result struct {
 // Optimize runs the selected co-optimization method on the platform with a
 // background context; see OptimizeContext.
 func Optimize(p *Platform, cfg Config) (*Result, error) {
+	//unicolint:allow ctxflow compatibility wrapper; cancellable callers use OptimizeContext
 	return OptimizeContext(context.Background(), p, cfg)
 }
 
